@@ -1,0 +1,193 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation section (see DESIGN.md for the experiment index). Each
+// benchmark runs the corresponding harness once per iteration on the
+// quick configuration and reports the headline quantity as a custom
+// metric, so `go test -bench=. -benchmem` reproduces the whole
+// evaluation at the scaled-down size. Use `cmd/experiments -full` for
+// the paper-scale runs.
+package panorama_test
+
+import (
+	"testing"
+
+	"panorama/internal/bench"
+)
+
+// benchCfg is the shared quick configuration, trimmed slightly so a
+// full -bench=. sweep stays in the minutes range.
+func benchCfg() bench.Config {
+	cfg := bench.Quick()
+	return cfg
+}
+
+// BenchmarkTable1aClustering regenerates Table 1a: spectral clustering
+// and cluster mapping of all twelve kernels, reporting the average
+// combined clustering+mapping seconds per kernel (the paper reports
+// 9.23s at full scale on a Xeon Gold).
+func BenchmarkTable1aClustering(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table1a(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range rows {
+			sum += r.ClusteringSec + r.ClusMapSec
+		}
+		b.ReportMetric(sum/float64(len(rows)), "s/kernel")
+	}
+}
+
+// BenchmarkTable1bSPRSmall regenerates the measured Table 1b datapoint:
+// SPR* on a ~30-node DFG and a 4x4 CGRA (the paper quotes 30s for its
+// C++ SPR* at this size).
+func BenchmarkTable1bSPRSmall(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table1b(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 || !rows[len(rows)-1].Measured {
+			b.Fatal("missing measured row")
+		}
+	}
+}
+
+// BenchmarkFigure5Imbalance regenerates Figure 5: imbalance factor
+// versus number of clusters for the four featured kernels.
+func BenchmarkFigure5Imbalance(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		series, err := bench.Figure5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var minIF = 1.0
+		for _, s := range series {
+			for _, v := range s.IF {
+				if v < minIF {
+					minIF = v
+				}
+			}
+		}
+		b.ReportMetric(minIF, "best-IF")
+	}
+}
+
+// BenchmarkFigure7PanSPR regenerates Figure 7: QoM and compile time of
+// SPR* versus Pan-SPR* over all kernels. Reported metrics: average QoM
+// of both mappers (paper: Pan-SPR* +22% QoM, 8.7x faster at 16x16).
+func BenchmarkFigure7PanSPR(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var baseQ, panQ float64
+		for _, r := range rows {
+			baseQ += r.BaseQoM
+			panQ += r.PanQoM
+		}
+		b.ReportMetric(baseQ/float64(len(rows)), "base-QoM")
+		b.ReportMetric(panQ/float64(len(rows)), "pan-QoM")
+	}
+}
+
+// BenchmarkFigure8Power regenerates Figure 8: power efficiency of the
+// small versus large array under both mappers, reporting the large
+// array's average efficiency gain (paper: +68% for 16x16 over 9x9).
+func BenchmarkFigure8Power(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var gain float64
+		for _, r := range rows {
+			gain += r.NormBigBase
+		}
+		b.ReportMetric(gain/float64(len(rows)), "big-vs-small")
+	}
+}
+
+// BenchmarkFigure9PanUltraFast regenerates Figure 9: UltraFast versus
+// Pan-UltraFast (paper: 2.6x QoM, 4.8x faster compilation).
+func BenchmarkFigure9PanUltraFast(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var baseQ, panQ float64
+		for _, r := range rows {
+			baseQ += r.BaseQoM
+			panQ += r.PanQoM
+		}
+		b.ReportMetric(baseQ/float64(len(rows)), "uf-QoM")
+		b.ReportMetric(panQ/float64(len(rows)), "pan-QoM")
+	}
+}
+
+// BenchmarkAblationClustering compares spectral clustering against the
+// structure-blind BFS partitioner (DESIGN.md ablation 1).
+func BenchmarkAblationClustering(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationClustering(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var with, abl float64
+		for _, r := range rows {
+			with += r.WithValue
+			abl += r.AblatedValue
+		}
+		b.ReportMetric(with/float64(len(rows)), "spectral-interE")
+		b.ReportMetric(abl/float64(len(rows)), "bfs-interE")
+	}
+}
+
+// BenchmarkAblationMatchingCut compares the cluster mapping with and
+// without the fork-minimisation constraints (DESIGN.md ablation 2).
+func BenchmarkAblationMatchingCut(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationMatchingCut(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var with, abl float64
+		for _, r := range rows {
+			with += r.WithValue
+			abl += r.AblatedValue
+		}
+		b.ReportMetric(with/float64(len(rows)), "cut-cost")
+		b.ReportMetric(abl/float64(len(rows)), "nocut-cost")
+	}
+}
+
+// BenchmarkAblationTop3 compares guiding with the best of three
+// balanced partitions against only the single most balanced one
+// (DESIGN.md ablation 3).
+func BenchmarkAblationTop3(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Fig5Kernels = []string{"fir", "cordic"} // heavy: trims to two kernels
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationTop3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var with, abl float64
+		for _, r := range rows {
+			with += r.WithValue
+			abl += r.AblatedValue
+		}
+		b.ReportMetric(with/float64(len(rows)), "top3-QoM")
+		b.ReportMetric(abl/float64(len(rows)), "top1-QoM")
+	}
+}

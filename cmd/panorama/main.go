@@ -1,0 +1,205 @@
+// Command panorama maps a benchmark kernel (or a DFG from a JSON file)
+// onto a CGRA with a selectable mapper and prints the result, including
+// an ASCII view of the cluster mapping and the time-extended schedule.
+//
+// Usage:
+//
+//	panorama -kernel fir -scale 0.25 -arch 8x8 -mapper pan-spr -show-schedule
+//	panorama -dfg mygraph.json -arch 16x16 -mapper spr
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"panorama/internal/arch"
+	"panorama/internal/config"
+	"panorama/internal/core"
+	"panorama/internal/dfg"
+	"panorama/internal/kernels"
+	"panorama/internal/sim"
+	"panorama/internal/spr"
+	"panorama/internal/viz"
+)
+
+func main() {
+	var (
+		kernelName = flag.String("kernel", "fir", "benchmark kernel name (see -list)")
+		dfgFile    = flag.String("dfg", "", "JSON DFG file (overrides -kernel)")
+		scale      = flag.Float64("scale", 0.25, "kernel scale factor (1.0 = paper size)")
+		archName   = flag.String("arch", "8x8", "target CGRA: 4x4, 8x8, 9x9, 16x16")
+		archFile   = flag.String("arch-file", "", "JSON architecture description (overrides -arch)")
+		mapper     = flag.String("mapper", "pan-spr", "mapper: spr, pan-spr, ultrafast, pan-ultrafast")
+		seed       = flag.Int64("seed", 1, "random seed")
+		list       = flag.Bool("list", false, "list benchmark kernels and exit")
+		showSched  = flag.Bool("show-schedule", false, "print the time-extended schedule (SPR mappers)")
+		showClus   = flag.Bool("show-clusters", true, "print the cluster mapping grid (pan mappers)")
+		verify     = flag.Bool("verify", false, "simulate the mapping and check it against the DFG reference (SPR mappers)")
+		outFile    = flag.String("out", "", "write the mapping and configuration program as JSON (SPR mappers)")
+		report     = flag.Bool("report", false, "print route/utilisation statistics (SPR mappers)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range kernels.All() {
+			g := s.Build(1.0)
+			fmt.Printf("%-14s (%s) %d nodes / %d edges at scale 1.0\n", s.Name, s.Suite, g.NumNodes(), g.NumEdges())
+		}
+		return
+	}
+
+	g, err := loadDFG(*dfgFile, *kernelName, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	a, err := pickArch(*archName, *archFile)
+	if err != nil {
+		fatal(err)
+	}
+
+	stats := g.ComputeStats()
+	fmt.Printf("kernel %s: %d nodes, %d edges, max degree %d, RecMII %d\n",
+		g.Name, stats.Nodes, stats.Edges, stats.MaxDegree, stats.RecMII)
+	fmt.Printf("target %s, MII %d\n\n", a, a.MII(g))
+
+	start := time.Now()
+	var res *core.Result
+	var sprRes *spr.Result
+	switch *mapper {
+	case "spr":
+		sprOpts := spr.Options{Seed: *seed}
+		sprRes, err = spr.Map(g, a, sprOpts)
+		if err == nil {
+			res = &core.Result{Kernel: g.Name, Lower: core.LowerResult{
+				Success: sprRes.Success, MII: sprRes.MII, II: sprRes.II, QoM: sprRes.QoM()}}
+		}
+	case "pan-spr":
+		res, err = core.MapPanorama(g, a, core.SPRLower{Options: spr.Options{Seed: *seed}},
+			core.Config{Seed: *seed, RelaxOnFailure: true})
+	case "ultrafast":
+		res, err = core.MapBaseline(g, a, core.UltraFastLower{})
+	case "pan-ultrafast":
+		res, err = core.MapPanorama(g, a, core.UltraFastLower{},
+			core.Config{Seed: *seed, RelaxOnFailure: true})
+	default:
+		err = fmt.Errorf("unknown mapper %q", *mapper)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if !res.Lower.Success {
+		fmt.Printf("mapping FAILED (MII %d) after %v\n", res.Lower.MII, elapsed.Round(time.Millisecond))
+		os.Exit(2)
+	}
+	fmt.Printf("mapped at II=%d (MII %d, QoM %.2f) in %v\n",
+		res.Lower.II, res.Lower.MII, res.Lower.QoM, elapsed.Round(time.Millisecond))
+	if res.Partition != nil {
+		fmt.Printf("clustering: K=%d, Inter-E=%d, Intra-E=%d, IF=%.2f (zeta=%d)\n",
+			res.Partition.K, res.Partition.InterE, res.Partition.IntraE, res.Partition.IF, res.ClusterMap.Zeta1)
+		if *showClus {
+			fmt.Println("\ncluster mapping (CDG nodes per CGRA cluster):")
+			fmt.Println(viz.ClusterGrid(res.ClusterMap))
+		}
+	}
+	if *showSched && sprRes != nil && sprRes.Mapping != nil {
+		fmt.Println("time-extended schedule:")
+		fmt.Println(viz.TimeExtended(g, a, sprRes.Mapping))
+	}
+	if *report && sprRes != nil && sprRes.Mapping != nil {
+		rep, err := spr.Analyze(g, a, sprRes.Mapping)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(rep)
+	}
+	if *verify {
+		if sprRes == nil || sprRes.Mapping == nil {
+			fmt.Println("verify: only available with -mapper spr (the mapping must carry routes)")
+		} else if err := sim.Verify(g, a, sprRes.Mapping, 4); err != nil {
+			fatal(fmt.Errorf("simulation check failed: %w", err))
+		} else {
+			fmt.Println("simulation check: fabric output matches the DFG reference")
+		}
+	}
+	if *outFile != "" {
+		if sprRes == nil || sprRes.Mapping == nil {
+			fatal(fmt.Errorf("-out requires -mapper spr (the mapping must carry routes)"))
+		}
+		prog, err := config.Generate(g, a, sprRes.Mapping)
+		if err != nil {
+			fatal(err)
+		}
+		out := struct {
+			Kernel  string          `json:"kernel"`
+			Arch    string          `json:"arch"`
+			II      int             `json:"ii"`
+			PlacePE []int           `json:"placePE"`
+			PlaceT  []int           `json:"placeT"`
+			Program *config.Program `json:"program"`
+		}{g.Name, a.Name, sprRes.II, sprRes.Mapping.PlacePE, sprRes.Mapping.PlaceT, prog}
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote mapping + configuration program to %s\n", *outFile)
+	}
+}
+
+func loadDFG(file, kernel string, scale float64) (*dfg.Graph, error) {
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		var g dfg.Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", file, err)
+		}
+		return &g, nil
+	}
+	spec, err := kernels.ByName(kernel)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Build(scale), nil
+}
+
+func pickArch(name, file string) (*arch.CGRA, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return arch.ReadJSON(f)
+	}
+	switch name {
+	case "4x4":
+		return arch.Preset4x4(), nil
+	case "8x8":
+		return arch.Preset8x8(), nil
+	case "9x9":
+		return arch.Preset9x9(), nil
+	case "16x16":
+		return arch.Preset16x16(), nil
+	}
+	return nil, fmt.Errorf("unknown architecture %q (want 4x4, 8x8, 9x9, 16x16)", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "panorama:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+package panorama_test
+
+import (
+	"fmt"
+
+	"panorama"
+)
+
+// ExampleKernel shows how to obtain one of the paper's benchmark DFGs.
+func ExampleKernel() {
+	g, err := panorama.Kernel("fir", 1.0)
+	if err != nil {
+		panic(err)
+	}
+	stats := g.ComputeStats()
+	fmt.Println(stats.Name, stats.Nodes > 200, stats.MemOps > 0)
+	// Output: fir true true
+}
+
+// ExampleNewDFG builds a custom accumulator kernel by hand.
+func ExampleNewDFG() {
+	g := panorama.NewDFG("acc")
+	x := g.AddNode(panorama.OpLoad, "x")
+	acc := g.AddNode(panorama.OpAdd, "acc")
+	out := g.AddNode(panorama.OpStore, "out")
+	g.AddEdge(x, acc)
+	g.AddEdgeDist(acc, acc, 1) // carried dependency
+	g.AddEdge(acc, out)
+	if err := g.Freeze(); err != nil {
+		panic(err)
+	}
+	fmt.Println(g.NumNodes(), g.RecMII())
+	// Output: 3 1
+}
+
+// ExampleMapSPR maps a tiny custom kernel with the SPR* baseline.
+func ExampleMapSPR() {
+	g := panorama.NewDFG("tiny")
+	a := g.AddNode(panorama.OpLoad, "")
+	b := g.AddNode(panorama.OpMul, "")
+	c := g.AddNode(panorama.OpStore, "")
+	g.AddEdge(a, b)
+	g.AddEdge(b, c)
+	if err := g.Freeze(); err != nil {
+		panic(err)
+	}
+	res, err := panorama.MapSPR(g, panorama.NewCGRA4x4(), 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Lower.Success, res.Lower.II >= res.Lower.MII)
+	// Output: true true
+}

@@ -1,0 +1,57 @@
+// clustering: look inside the higher-level mapping — sweep the number
+// of spectral clusters like Figure 5, show the imbalance factor curve,
+// and print the winning partition and its CDG.
+//
+//	go run ./examples/clustering [-kernel cordic]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"panorama"
+	"panorama/internal/spectral"
+)
+
+func main() {
+	kernelName := flag.String("kernel", "cordic", "benchmark kernel")
+	flag.Parse()
+
+	kernel, err := panorama.Kernel(*kernelName, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kernel %s: %d nodes, %d edges\n\n", kernel.Name, kernel.NumNodes(), kernel.NumEdges())
+
+	// Figure 5: imbalance factor against the number of clusters.
+	parts, err := spectral.Sweep(kernel, 4, 16, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("imbalance factor vs number of clusters (lower = more balanced):")
+	for i, p := range parts {
+		bar := strings.Repeat("#", int(p.IF*60))
+		fmt.Printf("  k=%2d  IF %.3f %s\n", 4+i, p.IF, bar)
+	}
+
+	best := spectral.TopBalanced(parts, 1)[0]
+	fmt.Printf("\nmost balanced: K=%d (IF %.3f), Inter-E %d vs Intra-E %d\n",
+		best.K, best.IF, best.InterE, best.IntraE)
+
+	cdg := spectral.BuildCDG(kernel, best)
+	fmt.Println("\ncluster dependency graph (edge weights = DFG edges between clusters):")
+	for i := 0; i < cdg.K; i++ {
+		var row []string
+		for j := 0; j < cdg.K; j++ {
+			if w := cdg.UndirectedWeight(i, j); w > 0 && i < j {
+				row = append(row, fmt.Sprintf("%c-%c:%d", 'A'+i, 'A'+j, w))
+			}
+		}
+		if len(row) > 0 {
+			fmt.Printf("  %s\n", strings.Join(row, "  "))
+		}
+	}
+	fmt.Printf("\ncluster sizes: %v (std dev of the paper's Table 1a)\n", best.Sizes)
+}

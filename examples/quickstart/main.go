@@ -1,0 +1,52 @@
+// Quickstart: map a FIR filter kernel onto an 8x8 CGRA with the full
+// Panorama pipeline (Pan-SPR*) and print what each stage produced.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"panorama"
+)
+
+func main() {
+	// A 14-tap FIR filter unrolled over 8 outputs, scaled to a quarter
+	// of the paper's size (~70 operations).
+	kernel := panorama.MustKernel("fir", 0.25)
+	stats := kernel.ComputeStats()
+	fmt.Printf("kernel %s: %d ops, %d dependencies, max fan-out %d\n",
+		stats.Name, stats.Nodes, stats.Edges, stats.MaxDegree)
+
+	// An 8x8 CGRA organised as a 4x4 grid of 2x2-PE clusters.
+	cgra := panorama.NewCGRA8x8()
+	fmt.Printf("target: %s, MII %d\n\n", cgra, cgra.MII(kernel))
+
+	// The Panorama pipeline: spectral clustering -> split&push cluster
+	// mapping -> guided SPR* place-and-route.
+	res, err := panorama.MapPanSPR(kernel, cgra, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Lower.Success {
+		log.Fatal("mapping failed")
+	}
+
+	fmt.Printf("clustering:      K=%d clusters, %d inter-cluster deps, %d intra (IF %.2f)\n",
+		res.Partition.K, res.Partition.InterE, res.Partition.IntraE, res.Partition.IF)
+	fmt.Printf("cluster mapping: zeta=%d, weighted distance %d, %d diagonal edges\n",
+		res.ClusterMap.Zeta1, res.ClusterMap.Cost, res.ClusterMap.Diagonals)
+	fmt.Printf("lower mapping:   II=%d (MII %d) -> quality of mapping %.2f\n",
+		res.Lower.II, res.Lower.MII, res.Lower.QoM)
+	fmt.Printf("compile time:    clustering %v + cluster map %v + place&route %v\n",
+		res.ClusteringTime.Round(1e6), res.ClusterMapTime.Round(1e6), res.LowerTime.Round(1e6))
+
+	// For comparison: the unguided SPR* baseline.
+	base, err := panorama.MapSPR(kernel, cgra, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbaseline SPR*:   II=%d, QoM %.2f in %v\n",
+		base.Lower.II, base.Lower.QoM, base.LowerTime.Round(1e6))
+}

@@ -1,0 +1,3 @@
+module panorama
+
+go 1.22

@@ -1,0 +1,246 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"panorama/internal/dfg"
+)
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	cases := []Config{
+		{Rows: 0, Cols: 4, ClusterRows: 1, ClusterCols: 1},
+		{Rows: 4, Cols: 4, ClusterRows: 0, ClusterCols: 1},
+		{Rows: 4, Cols: 4, ClusterRows: 3, ClusterCols: 1}, // 4 % 3 != 0
+		{Rows: 4, Cols: 4, ClusterRows: 1, ClusterCols: 1, InterClusterLinks: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New accepted invalid config %+v", i, cfg)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	g, err := New(Config{Rows: 4, Cols: 4, ClusterRows: 2, ClusterCols: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRegs != 8 || g.RFReadPorts != 4 || g.RFWritePorts != 4 {
+		t.Fatalf("defaults not applied: %+v", g.Config)
+	}
+}
+
+func TestPresetShapes(t *testing.T) {
+	cases := []struct {
+		g             *CGRA
+		pes, clusters int
+		memPEs        int
+		clusterRows   int
+	}{
+		{Preset4x4(), 16, 1, 4, 1},
+		{Preset8x8(), 64, 16, 32, 4},
+		{Preset9x9(), 81, 9, 27, 3},
+		{Preset16x16(), 256, 16, 64, 4},
+	}
+	for _, tc := range cases {
+		if tc.g.NumPEs() != tc.pes {
+			t.Errorf("%s: NumPEs = %d, want %d", tc.g.Name, tc.g.NumPEs(), tc.pes)
+		}
+		if tc.g.NumClusters() != tc.clusters {
+			t.Errorf("%s: NumClusters = %d, want %d", tc.g.Name, tc.g.NumClusters(), tc.clusters)
+		}
+		if len(tc.g.MemPEs()) != tc.memPEs {
+			t.Errorf("%s: MemPEs = %d, want %d", tc.g.Name, len(tc.g.MemPEs()), tc.memPEs)
+		}
+		if tc.g.ClusterRows != tc.clusterRows {
+			t.Errorf("%s: ClusterRows = %d, want %d", tc.g.Name, tc.g.ClusterRows, tc.clusterRows)
+		}
+	}
+}
+
+func TestClusterOfPartitionsPEs(t *testing.T) {
+	g := Preset16x16()
+	count := make([]int, g.NumClusters())
+	for pe := 0; pe < g.NumPEs(); pe++ {
+		count[g.ClusterOf(pe)]++
+	}
+	for cid, n := range count {
+		if n != 16 {
+			t.Fatalf("cluster %d has %d PEs, want 16", cid, n)
+		}
+	}
+	// PEsInCluster agrees with ClusterOf.
+	for cid := 0; cid < g.NumClusters(); cid++ {
+		for _, pe := range g.PEsInCluster(cid) {
+			if g.ClusterOf(pe) != cid {
+				t.Fatalf("PE %d listed in cluster %d but ClusterOf says %d", pe, cid, g.ClusterOf(pe))
+			}
+		}
+	}
+}
+
+func TestClusterCoordRoundTrip(t *testing.T) {
+	g := Preset16x16()
+	for cid := 0; cid < g.NumClusters(); cid++ {
+		r, c := g.ClusterCoord(cid)
+		if g.ClusterID(r, c) != cid {
+			t.Fatalf("coord round trip failed for cluster %d", cid)
+		}
+	}
+}
+
+func TestMemPEsAreClusterLeftmost(t *testing.T) {
+	g := Preset16x16()
+	for _, pe := range g.PEs {
+		wantMem := pe.Col%4 == 0
+		if pe.MemCapable != wantMem {
+			t.Fatalf("PE (%d,%d): MemCapable=%v, want %v", pe.Row, pe.Col, pe.MemCapable, wantMem)
+		}
+	}
+}
+
+func TestNeighborsAreSingleHopOrExpress(t *testing.T) {
+	g := Preset16x16()
+	express := make(map[[2]int]bool)
+	for _, l := range g.Links {
+		if l.InterCluster {
+			express[[2]int{l.From, l.To}] = true
+		}
+	}
+	for pe := 0; pe < g.NumPEs(); pe++ {
+		for _, nb := range g.Neighbors(pe) {
+			if g.PEDistance(pe, nb) != 1 && !express[[2]int{pe, nb}] {
+				t.Fatalf("non-express link %d->%d spans distance %d", pe, nb, g.PEDistance(pe, nb))
+			}
+		}
+	}
+}
+
+func TestLinksAreSymmetric(t *testing.T) {
+	g := Preset8x8()
+	set := make(map[[2]int]bool, len(g.Links))
+	for _, l := range g.Links {
+		set[[2]int{l.From, l.To}] = true
+	}
+	for _, l := range g.Links {
+		if !set[[2]int{l.To, l.From}] {
+			t.Fatalf("link %d->%d has no reverse", l.From, l.To)
+		}
+	}
+}
+
+func TestInterClusterLinkCount(t *testing.T) {
+	g := Preset16x16()
+	// 4x4 cluster grid: 3*4 horizontal + 4*3 vertical adjacent pairs = 24
+	// pairs; 6 links each, both directions = 24*6*2 directed links.
+	n := 0
+	for _, l := range g.Links {
+		if l.InterCluster {
+			n++
+		}
+	}
+	if want := 24 * 6 * 2; n != want {
+		t.Fatalf("inter-cluster directed links = %d, want %d", n, want)
+	}
+}
+
+func TestInterClusterLinksConnectAdjacentClusters(t *testing.T) {
+	g := Preset16x16()
+	for _, l := range g.Links {
+		if !l.InterCluster {
+			continue
+		}
+		ca, cb := g.ClusterOf(l.From), g.ClusterOf(l.To)
+		if ca == cb {
+			t.Fatalf("express link %d->%d inside one cluster", l.From, l.To)
+		}
+		if g.ClusterDistance(ca, cb) != 1 {
+			t.Fatalf("express link %d->%d connects non-adjacent clusters %d,%d", l.From, l.To, ca, cb)
+		}
+	}
+}
+
+func TestClusterDistance(t *testing.T) {
+	g := Preset16x16()
+	if d := g.ClusterDistance(g.ClusterID(0, 0), g.ClusterID(3, 3)); d != 6 {
+		t.Fatalf("ClusterDistance corner-to-corner = %d, want 6", d)
+	}
+	if d := g.ClusterDistance(2, 2); d != 0 {
+		t.Fatalf("self distance = %d", d)
+	}
+}
+
+func buildDFG(nodes, memOps int) *dfg.Graph {
+	g := dfg.New("t")
+	for i := 0; i < nodes; i++ {
+		op := dfg.OpAdd
+		if i < memOps {
+			op = dfg.OpLoad
+		}
+		g.AddNode(op, "")
+	}
+	for i := 0; i+1 < nodes; i++ {
+		g.AddEdge(i, i+1)
+	}
+	g.MustFreeze()
+	return g
+}
+
+func TestResMII(t *testing.T) {
+	g := Preset4x4() // 16 PEs, 4 mem PEs
+	if mii := g.ResMII(buildDFG(16, 0)); mii != 1 {
+		t.Fatalf("ResMII(16 ops) = %d, want 1", mii)
+	}
+	if mii := g.ResMII(buildDFG(17, 0)); mii != 2 {
+		t.Fatalf("ResMII(17 ops) = %d, want 2", mii)
+	}
+	// 9 mem ops on 4 mem PEs forces II >= 3 even though 16 PEs fit all ops.
+	if mii := g.ResMII(buildDFG(16, 9)); mii != 3 {
+		t.Fatalf("ResMII(9 mem ops) = %d, want 3", mii)
+	}
+}
+
+func TestMIIUsesMax(t *testing.T) {
+	g := Preset16x16()
+	d := dfg.New("rec")
+	for i := 0; i < 4; i++ {
+		d.AddNode(dfg.OpAdd, "")
+	}
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	d.AddEdge(2, 3)
+	d.AddEdgeDist(3, 0, 1) // RecMII 4 dominates ResMII 1
+	d.MustFreeze()
+	if mii := g.MII(d); mii != 4 {
+		t.Fatalf("MII = %d, want 4", mii)
+	}
+}
+
+func TestStringIncludesShape(t *testing.T) {
+	s := Preset16x16().String()
+	if s == "" || len(s) < 10 {
+		t.Fatalf("String too short: %q", s)
+	}
+}
+
+// Property: every PE id maps into a valid cluster and back.
+func TestQuickClusterContainment(t *testing.T) {
+	g := Preset16x16()
+	f := func(x uint16) bool {
+		pe := int(x) % g.NumPEs()
+		cid := g.ClusterOf(pe)
+		if cid < 0 || cid >= g.NumClusters() {
+			return false
+		}
+		for _, p := range g.PEsInCluster(cid) {
+			if p == pe {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package arch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// description is the JSON wire form of an architecture: the Config
+// fields are enough to rebuild the whole CGRA deterministically.
+type description struct {
+	Name              string `json:"name"`
+	Rows              int    `json:"rows"`
+	Cols              int    `json:"cols"`
+	ClusterRows       int    `json:"clusterRows"`
+	ClusterCols       int    `json:"clusterCols"`
+	NumRegs           int    `json:"numRegs,omitempty"`
+	RFReadPorts       int    `json:"rfReadPorts,omitempty"`
+	RFWritePorts      int    `json:"rfWritePorts,omitempty"`
+	InterClusterLinks int    `json:"interClusterLinks,omitempty"`
+}
+
+// WriteJSON writes the architecture description.
+func (g *CGRA) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(description{
+		Name:              g.Name,
+		Rows:              g.Rows,
+		Cols:              g.Cols,
+		ClusterRows:       g.ClusterRows,
+		ClusterCols:       g.ClusterCols,
+		NumRegs:           g.NumRegs,
+		RFReadPorts:       g.RFReadPorts,
+		RFWritePorts:      g.RFWritePorts,
+		InterClusterLinks: g.InterClusterLinks,
+	})
+}
+
+// ReadJSON parses an architecture description and instantiates it.
+func ReadJSON(r io.Reader) (*CGRA, error) {
+	var d description
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("arch: parsing description: %w", err)
+	}
+	return New(Config{
+		Name:              d.Name,
+		Rows:              d.Rows,
+		Cols:              d.Cols,
+		ClusterRows:       d.ClusterRows,
+		ClusterCols:       d.ClusterCols,
+		NumRegs:           d.NumRegs,
+		RFReadPorts:       d.RFReadPorts,
+		RFWritePorts:      d.RFWritePorts,
+		InterClusterLinks: d.InterClusterLinks,
+	})
+}

@@ -1,0 +1,49 @@
+package arch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := Preset16x16()
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || back.NumPEs() != orig.NumPEs() ||
+		back.NumClusters() != orig.NumClusters() ||
+		len(back.Links) != len(orig.Links) ||
+		len(back.MemPEs()) != len(orig.MemPEs()) {
+		t.Fatalf("round trip changed the architecture: %+v vs %+v", back.Config, orig.Config)
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{"rows": 4}`, // missing dims
+		`{"rows":4,"cols":4,"clusterRows":3,"clusterCols":1}`,           // indivisible
+		`{"rows":4,"cols":4,"clusterRows":1,"clusterCols":1,"bogus":1}`, // unknown field
+		`not json`,
+	}
+	for i, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: accepted %q", i, c)
+		}
+	}
+}
+
+func TestReadJSONAppliesDefaults(t *testing.T) {
+	g, err := ReadJSON(strings.NewReader(`{"name":"x","rows":4,"cols":4,"clusterRows":2,"clusterCols":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRegs != 8 || g.RFReadPorts != 4 {
+		t.Fatalf("defaults not applied: %+v", g.Config)
+	}
+}

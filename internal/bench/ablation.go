@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"panorama/internal/clustermap"
+	"panorama/internal/core"
+	"panorama/internal/spectral"
+)
+
+// AblationRow compares a design choice against its ablated variant on
+// one kernel.
+type AblationRow struct {
+	Kernel       string
+	Metric       string
+	WithValue    float64
+	AblatedValue float64
+}
+
+// AblationClustering compares spectral clustering against a naive
+// BFS-order partitioner (same k) on inter-cluster edge counts — the
+// quantity the clustering stage is supposed to minimise.
+func AblationClustering(cfg Config) ([]AblationRow, error) {
+	rows := make([]AblationRow, 0, len(cfg.Fig5Kernels))
+	a := cfg.Arch()
+	for _, name := range cfg.Fig5Kernels {
+		g, err := cfg.buildKernel(name)
+		if err != nil {
+			return nil, err
+		}
+		parts, err := spectral.Sweep(g, a.ClusterRows, core.DefaultMaxClusters(g, a), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		best := spectral.TopBalanced(parts, 1)[0]
+
+		naive := bfsPartition(g, best.K)
+		rows = append(rows, AblationRow{
+			Kernel:       name,
+			Metric:       "inter-cluster edges",
+			WithValue:    float64(best.InterE),
+			AblatedValue: float64(naive.InterE),
+		})
+	}
+	return rows, nil
+}
+
+// bfsPartition slices the DFG into k equal chunks of a BFS order — the
+// kind of structure-blind partition spectral clustering replaces.
+func bfsPartition(g interface {
+	NumNodes() int
+	UndirectedNeighbors() [][]int
+}, k int) *spectral.Partition {
+	n := g.NumNodes()
+	adj := g.UndirectedNeighbors()
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		queue := []int{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for _, w := range adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	assign := make([]int, n)
+	chunk := (n + k - 1) / k
+	for i, v := range order {
+		c := i / chunk
+		if c >= k {
+			c = k - 1
+		}
+		assign[v] = c
+	}
+	return partitionFromAssign(adjGraph{g}, assign, k)
+}
+
+// adjGraph adapts the minimal interface to what partition stats need.
+type adjGraph struct {
+	g interface {
+		NumNodes() int
+		UndirectedNeighbors() [][]int
+	}
+}
+
+// partitionFromAssign computes partition statistics over undirected
+// adjacency (each undirected pair counted once).
+func partitionFromAssign(ag adjGraph, assign []int, k int) *spectral.Partition {
+	p := &spectral.Partition{K: k, Assign: assign, Sizes: make([]int, k)}
+	for _, c := range assign {
+		p.Sizes[c]++
+	}
+	adj := ag.g.UndirectedNeighbors()
+	for v, ns := range adj {
+		for _, w := range ns {
+			if v < w {
+				if assign[v] == assign[w] {
+					p.IntraE++
+				} else {
+					p.InterE++
+				}
+			}
+		}
+	}
+	min, max := p.Sizes[0], p.Sizes[0]
+	for _, s := range p.Sizes {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	p.IF = float64(max-min) / float64(len(assign))
+	return p
+}
+
+// AblationMatchingCut compares diagonal-edge counts of the cluster
+// mapping with and without the fork-minimisation (matching cut)
+// constraints.
+func AblationMatchingCut(cfg Config) ([]AblationRow, error) {
+	a := cfg.Arch()
+	rows := make([]AblationRow, 0, len(cfg.Fig5Kernels))
+	for _, name := range cfg.Fig5Kernels {
+		g, err := cfg.buildKernel(name)
+		if err != nil {
+			return nil, err
+		}
+		parts, err := spectral.Sweep(g, a.ClusterRows, core.DefaultMaxClusters(g, a), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		best := spectral.TopBalanced(parts, 1)[0]
+		cdg := spectral.BuildCDG(g, best)
+
+		with, err := clustermap.MapWithEscalation(cdg, a.ClusterRows, a.ClusterCols, cfg.ClusterMap)
+		if err != nil {
+			return nil, err
+		}
+		ablOpts := cfg.ClusterMap
+		ablOpts.DisableMatchingCut = true
+		without, err := clustermap.MapWithEscalation(cdg, a.ClusterRows, a.ClusterCols, ablOpts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Kernel:       name,
+			Metric:       "weighted cluster distance",
+			WithValue:    float64(with.Cost),
+			AblatedValue: float64(without.Cost),
+		})
+	}
+	return rows, nil
+}
+
+// AblationTop3 compares guiding the lower mapper with the best of the
+// top-3 balanced partitions (the paper's choice) against using only the
+// single most balanced one.
+func AblationTop3(cfg Config) ([]AblationRow, error) {
+	a := cfg.Arch()
+	lower := cfg.sprLower()
+	rows := make([]AblationRow, 0, len(cfg.Fig5Kernels))
+	for _, name := range cfg.Fig5Kernels {
+		g, err := cfg.buildKernel(name)
+		if err != nil {
+			return nil, err
+		}
+		top3Cfg := cfg.panoramaConfig()
+		top3Cfg.TopPartitions = 3
+		res3, err := core.MapPanorama(g, a, lower, top3Cfg)
+		if err != nil {
+			return nil, err
+		}
+		top1Cfg := cfg.panoramaConfig()
+		top1Cfg.TopPartitions = 1
+		res1, err := core.MapPanorama(g, a, lower, top1Cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Kernel:       name,
+			Metric:       "QoM",
+			WithValue:    res3.Lower.QoM,
+			AblatedValue: res1.Lower.QoM,
+		})
+	}
+	return rows, nil
+}
+
+// RenderAblation formats ablation rows.
+func RenderAblation(title string, rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-14s %-26s %10s %10s\n", title, "Kernel", "Metric", "with", "ablated")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-26s %10.2f %10.2f\n", r.Kernel, r.Metric, r.WithValue, r.AblatedValue)
+	}
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+
+	"panorama/internal/arch"
+	"panorama/internal/core"
+	"panorama/internal/spr"
+)
+
+// AblationExpressLinks measures what the architecture's express
+// inter-cluster links buy: each kernel is mapped (Pan-SPR*) on the
+// standard target and on a variant with the express links removed.
+// Metric: achieved II (lower is better).
+func AblationExpressLinks(cfg Config) ([]AblationRow, error) {
+	with := cfg.Arch()
+	withoutCfg := with.Config
+	withoutCfg.InterClusterLinks = 0
+	withoutCfg.Name = with.Name + "-noexpress"
+	without, err := arch.New(withoutCfg)
+	if err != nil {
+		return nil, err
+	}
+	lower := cfg.sprLower()
+	rows := make([]AblationRow, 0, len(cfg.Fig5Kernels))
+	for _, name := range cfg.Fig5Kernels {
+		g, err := cfg.buildKernel(name)
+		if err != nil {
+			return nil, err
+		}
+		resWith, err := core.MapPanorama(g, with, lower, cfg.panoramaConfig())
+		if err != nil {
+			return nil, err
+		}
+		resWithout, err := core.MapPanorama(g, without, lower, cfg.panoramaConfig())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Kernel:       name,
+			Metric:       "II (express vs none)",
+			WithValue:    float64(resWith.Lower.II),
+			AblatedValue: float64(resWithout.Lower.II),
+		})
+	}
+	return rows, nil
+}
+
+// SeedStudyRow reports the II spread of one kernel across seeds: the
+// mappers are stochastic (simulated annealing), so stability across
+// seeds matters for reproducibility claims.
+type SeedStudyRow struct {
+	Kernel   string
+	IIs      []int
+	MinII    int
+	MaxII    int
+	Failures int
+}
+
+// SeedStudy maps each kernel under several seeds with the SPR*
+// baseline and reports the achieved II spread.
+func SeedStudy(cfg Config, seeds []int64) ([]SeedStudyRow, error) {
+	if len(seeds) == 0 {
+		seeds = []int64{1, 2, 3, 4, 5}
+	}
+	a := cfg.Arch()
+	rows := make([]SeedStudyRow, 0, len(cfg.Fig5Kernels))
+	for _, name := range cfg.Fig5Kernels {
+		g, err := cfg.buildKernel(name)
+		if err != nil {
+			return nil, err
+		}
+		row := SeedStudyRow{Kernel: name, MinII: 1 << 30}
+		for _, seed := range seeds {
+			res, err := spr.Map(g, a, spr.Options{Seed: seed})
+			if err != nil {
+				return nil, fmt.Errorf("%s seed %d: %w", name, seed, err)
+			}
+			if !res.Success {
+				row.Failures++
+				continue
+			}
+			row.IIs = append(row.IIs, res.II)
+			if res.II < row.MinII {
+				row.MinII = res.II
+			}
+			if res.II > row.MaxII {
+				row.MaxII = res.II
+			}
+		}
+		if len(row.IIs) == 0 {
+			row.MinII = 0
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderSeedStudy formats the seed-sensitivity table.
+func RenderSeedStudy(rows []SeedStudyRow) string {
+	out := fmt.Sprintf("%-14s %16s %6s %6s %9s\n", "Kernel", "IIs", "min", "max", "failures")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-14s %16v %6d %6d %9d\n", r.Kernel, r.IIs, r.MinII, r.MaxII, r.Failures)
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation section. It is shared by the
+// cmd/experiments binary and the repository's bench_test.go.
+//
+// Two standard configurations exist: Quick (default) maps kernels
+// scaled to ~25% onto the 8x8 preset so the whole suite runs in
+// minutes; Full reproduces the paper's setup (16x16 CGRA with 4x4
+// clusters, full-size kernels) and takes tens of minutes. Both produce
+// the same tables and figures; EXPERIMENTS.md records paper-vs-measured
+// numbers for both.
+package bench
+
+import (
+	"panorama/internal/arch"
+	"panorama/internal/clustermap"
+	"panorama/internal/core"
+	"panorama/internal/dfg"
+	"panorama/internal/kernels"
+	"panorama/internal/spr"
+	"panorama/internal/ultrafast"
+)
+
+// Config selects the experiment scale and seeds.
+type Config struct {
+	Name        string
+	Arch        func() *arch.CGRA // main evaluation target
+	ArchSmall   func() *arch.CGRA // the 9x9 comparison point of Figure 8
+	KernelScale float64
+	Kernels     []string // kernels to evaluate (Table 1a order)
+	Fig8Kernels []string // subset used for the power comparison
+	Fig5Kernels []string // the four kernels of Figure 5
+	Seed        int64
+
+	SPR        spr.Options
+	UltraFast  ultrafast.Options
+	ClusterMap clustermap.Options
+	Panorama   core.Config
+}
+
+// Quick returns the default scaled-down configuration.
+func Quick() Config {
+	return Config{
+		Name:        "quick",
+		Arch:        arch.Preset8x8,
+		ArchSmall:   arch.Preset4x4,
+		KernelScale: 0.25,
+		Kernels:     kernels.Names(),
+		Fig8Kernels: []string{"fir", "cordic", "mmul", "conv2d"},
+		Fig5Kernels: []string{"fir", "cordic", "conv2d", "mmul"},
+		Seed:        1,
+	}
+}
+
+// Full returns the paper-scale configuration: full-size kernels on the
+// 16x16 CGRA with 4x4 clusters, 9x9 for the power comparison.
+func Full() Config {
+	return Config{
+		Name:        "full",
+		Arch:        arch.Preset16x16,
+		ArchSmall:   arch.Preset9x9,
+		KernelScale: 1.0,
+		Kernels:     kernels.Names(),
+		Fig8Kernels: []string{"fir", "cordic", "mmul", "conv2d"},
+		Fig5Kernels: []string{"fir", "cordic", "conv2d", "mmul"},
+		Seed:        1,
+	}
+}
+
+func (c Config) panoramaConfig() core.Config {
+	cfg := c.Panorama
+	if cfg.Seed == 0 {
+		cfg.Seed = c.Seed
+	}
+	cfg.RelaxOnFailure = true
+	cfg.ClusterMap = c.ClusterMap
+	return cfg
+}
+
+func (c Config) sprLower() core.SPRLower {
+	opts := c.SPR
+	if opts.Seed == 0 {
+		opts.Seed = c.Seed
+	}
+	return core.SPRLower{Options: opts}
+}
+
+func (c Config) ultraFastLower() core.UltraFastLower {
+	return core.UltraFastLower{Options: c.UltraFast}
+}
+
+func (c Config) buildKernel(name string) (*dfg.Graph, error) {
+	spec, err := kernels.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Build(c.KernelScale), nil
+}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"panorama/internal/core"
+)
+
+// ScalingRow records compile time against DFG size for one kernel
+// scale — the scalability study motivating the paper (§1: "the
+// scalability issue in the compiler has resulted in ... longer mapping
+// time").
+type ScalingRow struct {
+	Scale   float64
+	Nodes   int
+	BaseSec float64
+	PanSec  float64
+	BaseII  int
+	PanII   int
+}
+
+// Scaling maps one kernel at increasing sizes with both SPR* and
+// Pan-SPR* and reports compile times. The kernel defaults to conv2d,
+// whose generator scales smoothly.
+func Scaling(cfg Config, kernel string, scales []float64) ([]ScalingRow, error) {
+	if kernel == "" {
+		kernel = "conv2d"
+	}
+	if len(scales) == 0 {
+		scales = []float64{0.1, 0.2, 0.3, 0.4}
+	}
+	a := cfg.Arch()
+	lower := cfg.sprLower()
+	rows := make([]ScalingRow, 0, len(scales))
+	for _, s := range scales {
+		scaled := cfg
+		scaled.KernelScale = s
+		g, err := scaled.buildKernel(kernel)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		base, err := core.MapBaseline(g, a, lower)
+		if err != nil {
+			return nil, err
+		}
+		baseSec := time.Since(t0).Seconds()
+		t1 := time.Now()
+		pan, err := core.MapPanorama(g, a, lower, scaled.panoramaConfig())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ScalingRow{
+			Scale: s, Nodes: g.NumNodes(),
+			BaseSec: baseSec, PanSec: time.Since(t1).Seconds(),
+			BaseII: base.Lower.II, PanII: pan.Lower.II,
+		})
+	}
+	return rows, nil
+}
+
+// RenderScaling formats the scalability study.
+func RenderScaling(kernel string, rows []ScalingRow) string {
+	out := fmt.Sprintf("compile time scaling, kernel %s\n%8s %6s | %8s %6s | %8s %6s\n",
+		kernel, "scale", "nodes", "SPR* s", "II", "Pan s", "II")
+	for _, r := range rows {
+		out += fmt.Sprintf("%8.2f %6d | %8.2f %6d | %8.2f %6d\n",
+			r.Scale, r.Nodes, r.BaseSec, r.BaseII, r.PanSec, r.PanII)
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"panorama/internal/arch"
+	"panorama/internal/clustermap"
+	"panorama/internal/core"
+	"panorama/internal/dfg"
+	"panorama/internal/spectral"
+	"panorama/internal/spr"
+)
+
+// Table1aRow is one row of Table 1a: DFG characteristics, clustering
+// results, cluster mapping occupancy, and compilation times.
+type Table1aRow struct {
+	Kernel string
+
+	// DFG characteristics.
+	Nodes, Edges, MaxDeg int
+
+	// Clustering results.
+	K              int
+	InterE, IntraE int
+	STD            float64
+
+	// Cluster mapping result: CDG nodes per CGRA cluster, by row.
+	Occupancy [][]int
+
+	// Compilation time (seconds).
+	ClusteringSec float64
+	ClusMapSec    float64
+}
+
+// Table1a regenerates Table 1a for every kernel in the configuration.
+func Table1a(cfg Config) ([]Table1aRow, error) {
+	a := cfg.Arch()
+	rows := make([]Table1aRow, 0, len(cfg.Kernels))
+	for _, name := range cfg.Kernels {
+		g, err := cfg.buildKernel(name)
+		if err != nil {
+			return nil, err
+		}
+		row, err := table1aRow(g, a, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func table1aRow(g *dfg.Graph, a *arch.CGRA, cfg Config) (Table1aRow, error) {
+	stats := g.ComputeStats()
+	row := Table1aRow{
+		Kernel: g.Name,
+		Nodes:  stats.Nodes,
+		Edges:  stats.Edges,
+		MaxDeg: stats.MaxDegree,
+	}
+
+	t0 := time.Now()
+	parts, err := spectral.Sweep(g, a.ClusterRows, core.DefaultMaxClusters(g, a), cfg.Seed)
+	if err != nil {
+		return row, err
+	}
+	var usable []*spectral.Partition
+	for _, p := range parts {
+		if p.K >= a.ClusterRows {
+			usable = append(usable, p)
+		}
+	}
+	if len(usable) == 0 {
+		return row, fmt.Errorf("no usable partition")
+	}
+	top := spectral.TopBalanced(usable, 3)
+	row.ClusteringSec = time.Since(t0).Seconds()
+
+	// Use the same capacity defaults as the Panorama pipeline so the
+	// occupancies of Table 1a describe what the guided mapper sees.
+	cmOpts := cfg.ClusterMap
+	if cmOpts.NodeCapacity == 0 {
+		mii := a.MII(g)
+		cmOpts.NodeCapacity = a.NumPEs() / a.NumClusters() * (mii + 1)
+		cmOpts.MemCapacity = len(a.MemPEs()) / a.NumClusters() * (mii + 1)
+	}
+	t1 := time.Now()
+	var best *clustermap.Result
+	var bestPart *spectral.Partition
+	for _, p := range top {
+		cdg := spectral.BuildCDG(g, p)
+		cm, err := clustermap.MapWithEscalation(cdg, a.ClusterRows, a.ClusterCols, cmOpts)
+		if err != nil {
+			continue
+		}
+		if best == nil || cm.Score() < best.Score() {
+			best, bestPart = cm, p
+		}
+	}
+	row.ClusMapSec = time.Since(t1).Seconds()
+	if best == nil {
+		return row, fmt.Errorf("cluster mapping failed")
+	}
+	row.K = bestPart.K
+	row.InterE = bestPart.InterE
+	row.IntraE = bestPart.IntraE
+	row.STD = bestPart.SizeSTD
+	row.Occupancy = best.Occupancy
+	return row, nil
+}
+
+// RenderTable1a formats rows in the paper's layout.
+func RenderTable1a(rows []Table1aRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %6s %6s %8s | %4s %7s %7s %6s | %-40s | %10s %8s\n",
+		"Kernel", "Nodes", "Edges", "Max Deg.", "K", "Inter-E", "Intra-E", "STD", "CDG nodes per CGRA cluster", "Clustering", "ClusMap")
+	var sumClus, sumMap float64
+	for _, r := range rows {
+		occ := make([]string, len(r.Occupancy))
+		for i, rowOcc := range r.Occupancy {
+			parts := make([]string, len(rowOcc))
+			for j, v := range rowOcc {
+				parts[j] = fmt.Sprint(v)
+			}
+			occ[i] = "[" + strings.Join(parts, ",") + "]"
+		}
+		fmt.Fprintf(&b, "%-14s %6d %6d %8d | %4d %7d %7d %6.1f | %-40s | %9.2fs %7.2fs\n",
+			r.Kernel, r.Nodes, r.Edges, r.MaxDeg, r.K, r.InterE, r.IntraE, r.STD,
+			strings.Join(occ, ","), r.ClusteringSec, r.ClusMapSec)
+		sumClus += r.ClusteringSec
+		sumMap += r.ClusMapSec
+	}
+	if len(rows) > 0 {
+		n := float64(len(rows))
+		fmt.Fprintf(&b, "%-14s %6s %6s %8s | %4s %7s %7s %6s | %-40s | %9.2fs %7.2fs\n",
+			"average", "", "", "", "", "", "", "", "", sumClus/n, sumMap/n)
+	}
+	return b.String()
+}
+
+// Table1bRow is one row of Table 1b: literature compiler scalability.
+// Cited rows reproduce the paper's table verbatim; the SPR* row is
+// measured on this machine.
+type Table1bRow struct {
+	Compiler string
+	DFGNodes string
+	CGRASize string
+	Time     string
+	Measured bool
+}
+
+// Table1b returns the literature summary plus a measured SPR* datapoint
+// (a ~30-node DFG mapped on a 4x4 CGRA, like the paper's footnote).
+func Table1b(cfg Config) ([]Table1bRow, error) {
+	rows := []Table1bRow{
+		{Compiler: "CGRA-ME [7]", DFGNodes: "12", CGRASize: "4x4", Time: "NA"},
+		{Compiler: "SPKM [11]", DFGNodes: "16", CGRASize: "4x4", Time: "~1s"},
+		{Compiler: "G-Minor [5]", DFGNodes: "35", CGRASize: "4x4, 16x16", Time: "0.2s, 7s"},
+		{Compiler: "EPIMAP [8]", DFGNodes: "35", CGRASize: "4x4, 16x16", Time: "54s, 23min"},
+		{Compiler: "DRESC [6]", DFGNodes: "56", CGRASize: "4x4", Time: "~15min"},
+		{Compiler: "EMS [9]", DFGNodes: "4~142", CGRASize: "4x4", Time: "~37min"},
+		{Compiler: "SPR [2]", DFGNodes: "263", CGRASize: "16x16", Time: "NA"},
+	}
+	// Measured SPR* datapoint: a ~30-node kernel on the 4x4 CGRA.
+	g, err := cfg.buildKernel("fir")
+	if err != nil {
+		return nil, err
+	}
+	small := smallDFG(g, 30)
+	a := arch.Preset4x4()
+	opts := cfg.SPR
+	if opts.Seed == 0 {
+		opts.Seed = cfg.Seed
+	}
+	t0 := time.Now()
+	res, err := spr.Map(small, a, opts)
+	if err != nil {
+		return nil, err
+	}
+	el := time.Since(t0)
+	status := fmt.Sprintf("%.2gs", el.Seconds())
+	if !res.Success {
+		status += " (failed)"
+	}
+	rows = append(rows, Table1bRow{
+		Compiler: "SPR* (this repo)",
+		DFGNodes: fmt.Sprint(small.NumNodes()),
+		CGRASize: "4x4",
+		Time:     status,
+		Measured: true,
+	})
+	return rows, nil
+}
+
+// smallDFG extracts a connected ~n-node prefix of a kernel DFG (in
+// topological order) for the Table 1b small-scale datapoint.
+func smallDFG(g *dfg.Graph, n int) *dfg.Graph {
+	keep := make(map[int]int)
+	small := dfg.New(g.Name + "-small")
+	for _, v := range g.TopoOrder() {
+		if len(keep) >= n {
+			break
+		}
+		keep[v] = small.AddNode(g.Nodes[v].Op, g.Nodes[v].Name)
+	}
+	for _, e := range g.Edges {
+		f, okF := keep[e.From]
+		t, okT := keep[e.To]
+		if okF && okT {
+			small.AddEdgeDist(f, t, e.Dist)
+		}
+	}
+	small.MustFreeze()
+	return small
+}
+
+// RenderTable1b formats the compiler summary table.
+func RenderTable1b(rows []Table1bRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %10s %12s %12s\n", "Compiler", "DFG Nodes", "CGRA Size", "Time")
+	for _, r := range rows {
+		marker := ""
+		if r.Measured {
+			marker = "  (measured)"
+		}
+		fmt.Fprintf(&b, "%-18s %10s %12s %12s%s\n", r.Compiler, r.DFGNodes, r.CGRASize, r.Time, marker)
+	}
+	return b.String()
+}

@@ -1,0 +1,293 @@
+package clustermap
+
+import (
+	"testing"
+
+	"panorama/internal/dfg"
+	"panorama/internal/spectral"
+)
+
+// lineCDG builds a CDG that is a path v0 - v1 - ... - v(k-1) with unit
+// weights and the given sizes.
+func lineCDG(sizes []int) *spectral.CDG {
+	k := len(sizes)
+	c := &spectral.CDG{
+		K:       k,
+		Sizes:   append([]int(nil), sizes...),
+		Weight:  make([][]int, k),
+		Members: make([][]int, k),
+	}
+	for i := range c.Weight {
+		c.Weight[i] = make([]int, k)
+	}
+	for i := 0; i+1 < k; i++ {
+		c.Weight[i][i+1] = 1
+	}
+	id := 0
+	for i, s := range sizes {
+		for j := 0; j < s; j++ {
+			c.Members[i] = append(c.Members[i], id)
+			id++
+		}
+	}
+	return c
+}
+
+// denseCDG builds a CDG where every pair of nodes is connected.
+func denseCDG(k, size int) *spectral.CDG {
+	c := lineCDG(make([]int, k))
+	for i := range c.Sizes {
+		c.Sizes[i] = size
+	}
+	c.Members = make([][]int, k)
+	id := 0
+	for i := 0; i < k; i++ {
+		for j := 0; j < size; j++ {
+			c.Members[i] = append(c.Members[i], id)
+			id++
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if i < j {
+				c.Weight[i][j] = 1
+			} else {
+				c.Weight[i][j] = 0
+			}
+		}
+	}
+	return c
+}
+
+func validateResult(t *testing.T, res *Result, r, c int) {
+	t.Helper()
+	if len(res.Rows) != res.CDG.K || len(res.Cols) != res.CDG.K {
+		t.Fatalf("result shape wrong: rows=%d cols=%d K=%d", len(res.Rows), len(res.Cols), res.CDG.K)
+	}
+	rowUsed := make([]bool, r)
+	for v := 0; v < res.CDG.K; v++ {
+		if res.Rows[v] < 0 || res.Rows[v] >= r {
+			t.Fatalf("node %d row %d out of range", v, res.Rows[v])
+		}
+		rowUsed[res.Rows[v]] = true
+		if len(res.Cols[v]) == 0 {
+			t.Fatalf("node %d has no columns", v)
+		}
+		for i, col := range res.Cols[v] {
+			if col < 0 || col >= c {
+				t.Fatalf("node %d column %d out of range", v, col)
+			}
+			if i > 0 && res.Cols[v][i] != res.Cols[v][i-1]+1 {
+				t.Fatalf("node %d columns not contiguous: %v", v, res.Cols[v])
+			}
+		}
+	}
+	for row, used := range rowUsed {
+		if !used {
+			t.Fatalf("cluster row %d received no CDG nodes", row)
+		}
+	}
+	// Occupancy must be consistent with rows/cols.
+	total := 0
+	for _, rowOcc := range res.Occupancy {
+		for _, n := range rowOcc {
+			total += n
+		}
+	}
+	wantTotal := 0
+	for v := 0; v < res.CDG.K; v++ {
+		wantTotal += len(res.Cols[v])
+	}
+	if total != wantTotal {
+		t.Fatalf("occupancy total %d != column placements %d", total, wantTotal)
+	}
+}
+
+func TestMapLineCDGBalanced(t *testing.T) {
+	cdg := lineCDG([]int{10, 10, 10, 10})
+	res, ok, err := Map(cdg, 4, 4, Options{})
+	if err != nil || !ok {
+		t.Fatalf("Map failed: ok=%v err=%v", ok, err)
+	}
+	validateResult(t, res, 4, 4)
+	// A path with equal sizes splits without diagonal edges.
+	if res.Diagonals != 0 {
+		t.Fatalf("diagonals = %d, want 0", res.Diagonals)
+	}
+	if res.Zeta1 != 1 || res.Zeta2 != 1 {
+		t.Fatalf("zeta = %d,%d, want 1,1", res.Zeta1, res.Zeta2)
+	}
+}
+
+func TestMapRejectsTooFewNodes(t *testing.T) {
+	cdg := lineCDG([]int{5, 5})
+	if _, _, err := Map(cdg, 4, 4, Options{}); err == nil {
+		t.Fatal("accepted K < R")
+	}
+	if _, _, err := Map(cdg, 0, 4, Options{}); err == nil {
+		t.Fatal("accepted r=0")
+	}
+}
+
+func TestMapWithEscalationDense(t *testing.T) {
+	// A dense CDG has no matching cut at zeta=1; escalation must kick in.
+	cdg := denseCDG(6, 8)
+	res, err := MapWithEscalation(cdg, 3, 3, Options{})
+	if err != nil {
+		t.Fatalf("escalation failed: %v", err)
+	}
+	validateResult(t, res, 3, 3)
+	if res.Zeta1 < 2 {
+		t.Fatalf("dense CDG mapped at zeta=%d; expected escalation above 1", res.Zeta1)
+	}
+}
+
+func TestBigClusterGetsMoreColumns(t *testing.T) {
+	// One node 4x the average size must span several columns.
+	cdg := lineCDG([]int{4, 4, 4, 36})
+	res, err := MapWithEscalation(cdg, 2, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateResult(t, res, 2, 2)
+	if len(res.Cols[3]) < 2 {
+		t.Fatalf("big node spans %d columns, want >= 2", len(res.Cols[3]))
+	}
+}
+
+func TestSmallClustersShare(t *testing.T) {
+	// 8 tiny nodes on a 2x2 grid force many-to-one sharing.
+	cdg := lineCDG([]int{2, 2, 2, 2, 2, 2, 2, 2})
+	res, err := MapWithEscalation(cdg, 2, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateResult(t, res, 2, 2)
+	shared := false
+	for _, row := range res.Occupancy {
+		for _, n := range row {
+			if n >= 2 {
+				shared = true
+			}
+		}
+	}
+	if !shared {
+		t.Fatal("no CGRA cluster shared by multiple CDG nodes")
+	}
+}
+
+func TestDependentClustersPlacedClose(t *testing.T) {
+	// Two chains of clusters: heavy edges inside each chain. The cost
+	// of the mapping must beat a naive worst-case placement.
+	sizes := []int{8, 8, 8, 8, 8, 8, 8, 8}
+	cdg := lineCDG(sizes)
+	// strengthen weights so the objective matters
+	for i := 0; i+1 < cdg.K; i++ {
+		cdg.Weight[i][i+1] = 5
+	}
+	res, err := MapWithEscalation(cdg, 4, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateResult(t, res, 4, 4)
+	// A path of 8 nodes with weight-5 edges: worst case cost is huge;
+	// a good mapping keeps average distance near 1 per edge.
+	maxReasonable := 5 * 7 * 2 // every edge at distance <= 2
+	if res.Cost > maxReasonable {
+		t.Fatalf("cost = %d, want <= %d (dependent clusters scattered)", res.Cost, maxReasonable)
+	}
+}
+
+func TestMatchingCutAblationAllowsMoreDiagonals(t *testing.T) {
+	// With fork minimisation disabled the solver may cut adjacent
+	// edges; the constrained run must never produce more diagonals.
+	cdg := lineCDG([]int{6, 6, 6, 6, 6, 6})
+	withCut, err := MapWithEscalation(cdg, 3, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := MapWithEscalation(cdg, 3, 3, Options{DisableMatchingCut: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withCut.Diagonals > without.Diagonals+1 {
+		t.Fatalf("matching cut produced more diagonals (%d) than ablation (%d)",
+			withCut.Diagonals, without.Diagonals)
+	}
+}
+
+func TestMapDeterministic(t *testing.T) {
+	cdg := lineCDG([]int{7, 9, 5, 8, 6, 7})
+	a, err := MapWithEscalation(cdg, 3, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MapWithEscalation(cdg, 3, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Rows {
+		if a.Rows[v] != b.Rows[v] {
+			t.Fatal("row assignment not deterministic")
+		}
+		if len(a.Cols[v]) != len(b.Cols[v]) {
+			t.Fatal("column assignment not deterministic")
+		}
+		for i := range a.Cols[v] {
+			if a.Cols[v][i] != b.Cols[v][i] {
+				t.Fatal("column assignment not deterministic")
+			}
+		}
+	}
+}
+
+func TestEndToEndFromSpectral(t *testing.T) {
+	// Full pipeline: DFG -> spectral partition -> CDG -> cluster map.
+	g := dfg.New("e2e")
+	const commSize = 10
+	for i := 0; i < 4*commSize; i++ {
+		g.AddNode(dfg.OpAdd, "")
+	}
+	for comm := 0; comm < 4; comm++ {
+		base := comm * commSize
+		for i := 0; i < commSize-1; i++ {
+			g.AddEdge(base+i, base+i+1)
+			if i+2 < commSize {
+				g.AddEdge(base+i, base+i+2)
+			}
+		}
+	}
+	g.AddEdge(commSize-1, commSize)     // bridge 0-1
+	g.AddEdge(2*commSize-1, 2*commSize) // bridge 1-2
+	g.AddEdge(3*commSize-1, 3*commSize) // bridge 2-3
+	g.MustFreeze()
+
+	parts, err := spectral.Sweep(g, 4, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := spectral.TopBalanced(parts, 1)[0]
+	cdg := spectral.BuildCDG(g, best)
+	res, err := MapWithEscalation(cdg, 2, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateResult(t, res, 2, 2)
+}
+
+func TestOccupancyMatchesTable1aShape(t *testing.T) {
+	// The occupancy grid is what Table 1a prints: R rows of C counts.
+	cdg := lineCDG([]int{10, 12, 9, 11, 10, 8})
+	res, err := MapWithEscalation(cdg, 4, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Occupancy) != 4 {
+		t.Fatalf("occupancy rows = %d", len(res.Occupancy))
+	}
+	for _, row := range res.Occupancy {
+		if len(row) != 4 {
+			t.Fatalf("occupancy cols = %d", len(row))
+		}
+	}
+}

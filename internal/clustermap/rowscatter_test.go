@@ -1,0 +1,162 @@
+package clustermap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeSpansProportional(t *testing.T) {
+	cdg := lineCDG([]int{8, 8, 8, 40}) // total 64 on a 2x2 grid: avg 16
+	spans := computeSpans(cdg, 2, 2)
+	if spans[0] != 1 || spans[1] != 1 || spans[2] != 1 {
+		t.Fatalf("small spans = %v", spans)
+	}
+	if spans[3] != 2 {
+		t.Fatalf("big node span = %d, want 2 (clamped to C)", spans[3])
+	}
+}
+
+func TestComputeSpansClamped(t *testing.T) {
+	cdg := lineCDG([]int{100, 1, 1, 1})
+	spans := computeSpans(cdg, 2, 2)
+	if spans[0] != 2 {
+		t.Fatalf("span = %d, want clamp at C=2", spans[0])
+	}
+	for _, s := range spans[1:] {
+		if s != 1 {
+			t.Fatalf("small spans = %v", spans)
+		}
+	}
+}
+
+func TestCenteredInterval(t *testing.T) {
+	if got := centeredInterval(1, 4); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("centeredInterval(1,4) = %v", got)
+	}
+	if got := centeredInterval(3, 4); len(got) != 3 || got[0] != 0 {
+		t.Fatalf("centeredInterval(3,4) = %v", got)
+	}
+	if got := centeredInterval(4, 4); len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Fatalf("centeredInterval(4,4) = %v", got)
+	}
+}
+
+func TestMinColDist(t *testing.T) {
+	if minColDist(2, []int{0, 1}) != 1 {
+		t.Fatal("distance to nearest set member wrong")
+	}
+	if minColDist(2, []int{2}) != 0 {
+		t.Fatal("member distance must be 0")
+	}
+	if minColDist(5, nil) != 0 {
+		t.Fatal("empty set must be free")
+	}
+}
+
+func TestBestColDist(t *testing.T) {
+	if bestColDist([]int{0, 1}, []int{3}) != 2 {
+		t.Fatal("bestColDist wrong")
+	}
+	if bestColDist([]int{0, 3}, []int{3}) != 0 {
+		t.Fatal("overlap must be 0")
+	}
+	if bestColDist(nil, []int{1}) != 0 {
+		t.Fatal("empty side must be 0")
+	}
+}
+
+func TestRowGreedyRespectsSpans(t *testing.T) {
+	cdg := lineCDG([]int{10, 10, 30})
+	spans := []int{1, 1, 2}
+	cols := make([][]int, 3)
+	for i := range cols {
+		cols[i] = centeredInterval(spans[i], 4)
+	}
+	out, err := rowGreedy(cdg, []int{0, 1, 2}, cols, spans, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, cs := range out {
+		if len(cs) != spans[v] {
+			t.Fatalf("node %d got %d columns, want %d", v, len(cs), spans[v])
+		}
+		for i := 1; i < len(cs); i++ {
+			if cs[i] != cs[i-1]+1 {
+				t.Fatalf("node %d columns not contiguous: %v", v, cs)
+			}
+		}
+	}
+}
+
+func TestEvalRowCostPrefersBalance(t *testing.T) {
+	cdg := lineCDG([]int{16, 16})
+	spans := []int{1, 1}
+	cols := [][]int{{0}, {0}}
+	balanced := map[int][]int{0: {0}, 1: {1}}
+	stacked := map[int][]int{0: {0}, 1: {0}}
+	cb := evalRowCost(cdg, []int{0, 1}, balanced, cols, spans, 2)
+	cs := evalRowCost(cdg, []int{0, 1}, stacked, cols, spans, 2)
+	if cb >= cs {
+		t.Fatalf("balanced cost %d not below stacked %d", cb, cs)
+	}
+}
+
+func TestCapacityConstraintPreventsStacking(t *testing.T) {
+	// Two size-16 nodes on a 1x2 grid with capacity 16: stacking both
+	// onto one cluster (32 > 16) must be rejected by the ILP.
+	cdg := lineCDG([]int{16, 16})
+	res, err := MapWithEscalation(cdg, 1, 2, Options{NodeCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Occupancy[0][0] != 1 || res.Occupancy[0][1] != 1 {
+		t.Fatalf("capacity violated: occupancy %v", res.Occupancy)
+	}
+}
+
+func TestMemCapacitySpreadsMemHeavyClusters(t *testing.T) {
+	cdg := lineCDG([]int{12, 12})
+	cdg.MemSizes = []int{8, 8}
+	res, err := MapWithEscalation(cdg, 1, 2, Options{MemCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each cluster carries at most 8 mem ops -> the two nodes cannot
+	// share a column.
+	if res.Cols[0][0] == res.Cols[1][0] && res.Rows[0] == res.Rows[1] {
+		t.Fatalf("mem-heavy nodes stacked: %v %v", res.Cols[0], res.Cols[1])
+	}
+}
+
+// Property: rowScatter output always covers every node with at least
+// one in-range column, regardless of size distribution.
+func TestQuickRowScatterDomains(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%6) + 4
+		sizes := make([]int, k)
+		rng := seed
+		for i := range sizes {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			sizes[i] = int(uint64(rng)%20) + 2
+		}
+		cdg := lineCDG(sizes)
+		res, err := MapWithEscalation(cdg, 2, 2, Options{})
+		if err != nil {
+			return false
+		}
+		for v := 0; v < k; v++ {
+			if len(res.Cols[v]) == 0 || res.Rows[v] < 0 || res.Rows[v] >= 2 {
+				return false
+			}
+			for _, c := range res.Cols[v] {
+				if c < 0 || c >= 2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"panorama/internal/arch"
+	"panorama/internal/clustermap"
+	"panorama/internal/dfg"
+)
+
+// mkResult builds a cluster-mapping result with just the fields the
+// selection logic reads.
+func mkResult(imb, cost, zeta int) *clustermap.Result {
+	return &clustermap.Result{LoadImbalance: imb, Cost: cost, Zeta1: zeta, Zeta2: zeta}
+}
+
+func TestDefaultMaxClusters(t *testing.T) {
+	a := arch.Preset8x8() // 16 clusters, R=4
+	big := dfg.New("big")
+	for i := 0; i < 400; i++ {
+		big.AddNode(dfg.OpAdd, "")
+	}
+	big.MustFreeze()
+	if got := DefaultMaxClusters(big, a); got != 32 {
+		t.Fatalf("big kernel m = %d, want 32 (2x clusters)", got)
+	}
+	small := dfg.New("small")
+	for i := 0; i < 30; i++ {
+		small.AddNode(dfg.OpAdd, "")
+	}
+	small.MustFreeze()
+	if got := DefaultMaxClusters(small, a); got != 5 {
+		t.Fatalf("small kernel m = %d, want 5 (n/6)", got)
+	}
+	tiny := dfg.New("tiny")
+	for i := 0; i < 6; i++ {
+		tiny.AddNode(dfg.OpAdd, "")
+	}
+	tiny.MustFreeze()
+	if got := DefaultMaxClusters(tiny, a); got != a.ClusterRows {
+		t.Fatalf("tiny kernel m = %d, want R=%d", got, a.ClusterRows)
+	}
+}
+
+func TestWithNeighbors(t *testing.T) {
+	a := arch.Preset8x8() // 4x4 cluster grid
+	// Corner cluster 0 has 2 neighbours.
+	got := withNeighbors(a, []int{0})
+	if len(got) != 3 {
+		t.Fatalf("corner neighbourhood = %v", got)
+	}
+	// Centre cluster (1,1)=5 has 4 neighbours.
+	got = withNeighbors(a, []int{a.ClusterID(1, 1)})
+	if len(got) != 5 {
+		t.Fatalf("centre neighbourhood = %v", got)
+	}
+	// Result is sorted and deduplicated.
+	got = withNeighbors(a, []int{0, 1})
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("not sorted/deduped: %v", got)
+		}
+	}
+}
+
+func TestMemBound(t *testing.T) {
+	a := arch.Preset8x8() // 2 mem PEs per cluster
+	g := dfg.New("t")
+	for i := 0; i < 6; i++ {
+		g.AddNode(dfg.OpLoad, "")
+	}
+	g.MustFreeze()
+	allowed := make([][]int, 6)
+	for i := range allowed {
+		allowed[i] = []int{3}
+	}
+	// 6 loads on 2 memory PEs -> bound 3.
+	if got := memBound(g, a, allowed); got != 3 {
+		t.Fatalf("memBound = %d, want 3", got)
+	}
+	// Spread over two clusters (multi-cluster nodes charged to none).
+	for i := range allowed {
+		allowed[i] = []int{3, 4}
+	}
+	if got := memBound(g, a, allowed); got != 1 {
+		t.Fatalf("memBound multi = %d, want 1", got)
+	}
+}
+
+func TestLessPrefersBalancedMappings(t *testing.T) {
+	// less() is exercised through clustermap results; emulate two.
+	a := mkResult(10, 5, 2) // score 35
+	b := mkResult(2, 5, 2)  // score 11
+	if !less(b, a) || less(a, b) {
+		t.Fatal("less must prefer the lower composite score")
+	}
+	c := mkResult(2, 5, 4) // same score as b, higher zeta
+	if !less(b, c) {
+		t.Fatal("ties must break toward lower zeta")
+	}
+}
+
+func TestTotalTimeSums(t *testing.T) {
+	r := &Result{ClusteringTime: 1, ClusterMapTime: 2, LowerTime: 3}
+	if r.TotalTime() != 6 {
+		t.Fatalf("TotalTime = %d", r.TotalTime())
+	}
+}

@@ -1,0 +1,365 @@
+// Package core is the paper's primary contribution: the Panorama
+// higher-level mapper (Algorithm 1). It partitions the loop-body DFG
+// with spectral clustering, maps the resulting Cluster Dependency Graph
+// onto the CGRA's cluster grid with the split&push ILPs, and uses the
+// winning cluster mapping to guide a pluggable lower-level mapper
+// (SPR* or UltraFast*).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"panorama/internal/arch"
+	"panorama/internal/clustermap"
+	"panorama/internal/dfg"
+	"panorama/internal/spectral"
+	"panorama/internal/spr"
+	"panorama/internal/ultrafast"
+)
+
+// Lower abstracts a lower-level CGRA mapper so Panorama's guidance can
+// drive either SPR* or UltraFast* (paper §3.3: "Panorama is a portable
+// higher-level mapper").
+type Lower interface {
+	// Name identifies the mapper in reports ("spr", "ultrafast").
+	Name() string
+	// Map maps the DFG; allowed restricts each node to CGRA cluster ids
+	// (nil = unrestricted baseline).
+	Map(d *dfg.Graph, a *arch.CGRA, allowed [][]int) (LowerResult, error)
+}
+
+// LowerResult is the mapper-independent view of a lower-level result.
+type LowerResult struct {
+	Success bool
+	MII     int
+	II      int
+	QoM     float64
+}
+
+// SPRLower adapts internal/spr to the Lower interface.
+type SPRLower struct {
+	Options spr.Options
+}
+
+// Name returns "spr".
+func (s SPRLower) Name() string { return "spr" }
+
+// Map runs the SPR* mapper.
+func (s SPRLower) Map(d *dfg.Graph, a *arch.CGRA, allowed [][]int) (LowerResult, error) {
+	opts := s.Options
+	opts.AllowedClusters = allowed
+	res, err := spr.Map(d, a, opts)
+	if err != nil {
+		return LowerResult{}, err
+	}
+	return LowerResult{Success: res.Success, MII: res.MII, II: res.II, QoM: res.QoM()}, nil
+}
+
+// UltraFastLower adapts internal/ultrafast to the Lower interface.
+type UltraFastLower struct {
+	Options ultrafast.Options
+}
+
+// Name returns "ultrafast".
+func (u UltraFastLower) Name() string { return "ultrafast" }
+
+// Map runs the UltraFast* mapper.
+func (u UltraFastLower) Map(d *dfg.Graph, a *arch.CGRA, allowed [][]int) (LowerResult, error) {
+	opts := u.Options
+	opts.AllowedClusters = allowed
+	res, err := ultrafast.Map(d, a, opts)
+	if err != nil {
+		return LowerResult{}, err
+	}
+	return LowerResult{Success: res.Success, MII: res.MII, II: res.II, QoM: res.QoM()}, nil
+}
+
+// Config tunes the Panorama pipeline.
+type Config struct {
+	// MaxDFGClusters is m in Algorithm 1 (the top of the k sweep);
+	// 0 means 2 * number of CGRA clusters.
+	MaxDFGClusters int
+	// TopPartitions is how many balanced partitions enter cluster
+	// mapping (the paper uses 3).
+	TopPartitions int
+	// Seed drives spectral clustering's k-means and the lower mapper.
+	Seed int64
+	// ClusterMap tunes the scattering ILPs.
+	ClusterMap clustermap.Options
+	// RelaxOnFailure widens the cluster restriction (memory ops first,
+	// then everything) if the guided lower-level mapping fails
+	// outright, so Panorama degrades to the baseline instead of
+	// failing. Enabled by default via MapPanorama.
+	RelaxOnFailure bool
+}
+
+// Result is the outcome of the full Panorama pipeline.
+type Result struct {
+	Kernel string
+
+	Partition  *spectral.Partition // chosen clustering solution
+	CDG        *spectral.CDG
+	ClusterMap *clustermap.Result
+	Candidates int // partitions that entered cluster mapping
+
+	Lower   LowerResult
+	Relaxed bool // cluster restriction was widened to map at all
+
+	ClusteringTime time.Duration
+	ClusterMapTime time.Duration
+	LowerTime      time.Duration
+}
+
+// TotalTime returns the end-to-end compilation time.
+func (r *Result) TotalTime() time.Duration {
+	return r.ClusteringTime + r.ClusterMapTime + r.LowerTime
+}
+
+// DefaultMaxClusters picks m for Algorithm 1's sweep: up to twice the
+// CGRA cluster count (the paper's kernels choose K between 10 and 29 on
+// a 16-cluster target), but never so many that average cluster size
+// drops below ~6 DFG nodes — partitions of tiny fragments carry no
+// community structure for the cluster mapping to exploit.
+func DefaultMaxClusters(d *dfg.Graph, a *arch.CGRA) int {
+	m := 2 * a.NumClusters()
+	if cap := d.NumNodes() / 6; cap < m {
+		m = cap
+	}
+	if m < a.ClusterRows {
+		m = a.ClusterRows
+	}
+	return m
+}
+
+// MapPanorama runs Algorithm 1: sweep spectral clusterings from R to m,
+// cluster-map the three most balanced partitions with escalating ζ,
+// pick the mapping with the least inter-cluster routing complexity, and
+// guide the lower-level mapper with it.
+func MapPanorama(d *dfg.Graph, a *arch.CGRA, lower Lower, cfg Config) (*Result, error) {
+	if err := d.Freeze(); err != nil {
+		return nil, err
+	}
+	r, c := a.ClusterRows, a.ClusterCols
+	if cfg.MaxDFGClusters <= 0 {
+		cfg.MaxDFGClusters = DefaultMaxClusters(d, a)
+	}
+	if cfg.TopPartitions <= 0 {
+		cfg.TopPartitions = 3
+	}
+	res := &Result{Kernel: d.Name}
+
+	// Lines 1-4: clustering sweep k = R .. m.
+	t0 := time.Now()
+	parts, err := spectral.Sweep(d, r, cfg.MaxDFGClusters, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: clustering: %w", err)
+	}
+	// Partitions must have at least R clusters for column scattering.
+	var usable []*spectral.Partition
+	for _, p := range parts {
+		if p.K >= r {
+			usable = append(usable, p)
+		}
+	}
+	if len(usable) == 0 {
+		return nil, fmt.Errorf("core: no partition with at least %d clusters", r)
+	}
+	top := spectral.TopBalanced(usable, cfg.TopPartitions)
+	res.ClusteringTime = time.Since(t0)
+	res.Candidates = len(top)
+
+	// Lines 5-9: cluster-map each candidate with ζ escalation; keep the
+	// solution with minimal ζ (ties: lower weighted distance cost).
+	// Cluster capacities at the target II ("minimally unrolled MRRG")
+	// stop the scattering from stacking more load on a cluster than its
+	// FU or memory slots can absorb.
+	cmOpts := cfg.ClusterMap
+	if cmOpts.NodeCapacity == 0 {
+		mii := a.MII(d)
+		pesPer := a.NumPEs() / a.NumClusters()
+		memPer := len(a.MemPEs()) / a.NumClusters()
+		cmOpts.NodeCapacity = pesPer * (mii + 1)
+		cmOpts.MemCapacity = memPer * (mii + 1)
+	}
+	t1 := time.Now()
+	var best *clustermap.Result
+	var bestPart *spectral.Partition
+	for _, p := range top {
+		cdg := spectral.BuildCDG(d, p)
+		cm, err := clustermap.MapWithEscalation(cdg, r, c, cmOpts)
+		if err != nil {
+			// Capacity can be unsatisfiable for very lumpy partitions;
+			// retry this candidate unconstrained rather than dropping it.
+			relaxed := cmOpts
+			relaxed.NodeCapacity, relaxed.MemCapacity = 0, 0
+			cm, err = clustermap.MapWithEscalation(cdg, r, c, relaxed)
+		}
+		if err != nil {
+			continue
+		}
+		if best == nil || less(cm, best) {
+			best, bestPart = cm, p
+		}
+	}
+	res.ClusterMapTime = time.Since(t1)
+	if best == nil {
+		return nil, fmt.Errorf("core: cluster mapping failed for all %d candidate partitions", len(top))
+	}
+	res.Partition = bestPart
+	res.CDG = best.CDG
+	res.ClusterMap = best
+
+	// Line 10: guided lower-level mapping. When the cluster restriction
+	// alone forces the per-cluster memory bound past the global MII,
+	// free the memory operations up front: bank pressure is a property
+	// of where loads/stores sit, not of the community structure the
+	// guidance is meant to preserve.
+	allowed := AllowedClusters(d, a, bestPart, best)
+	if memBound(d, a, allowed) > a.MII(d) {
+		allowed = relaxMemOps(d, allowed)
+		res.Relaxed = true
+	}
+	t2 := time.Now()
+	low, err := lower.Map(d, a, allowed)
+	if err != nil {
+		return nil, err
+	}
+	if !low.Success && cfg.RelaxOnFailure {
+		// First widen memory ops (bank pressure is the usual culprit),
+		// then drop guidance entirely.
+		relaxed := relaxMemOps(d, allowed)
+		low, err = lower.Map(d, a, relaxed)
+		if err != nil {
+			return nil, err
+		}
+		res.Relaxed = true
+		if !low.Success {
+			low, err = lower.Map(d, a, nil)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	res.LowerTime = time.Since(t2)
+	res.Lower = low
+	return res, nil
+}
+
+// less orders cluster mappings: primarily by the composite quality
+// score (load imbalance + routing distance), then by the paper's ζ
+// preference (fewer diagonal-edge allowances).
+func less(a, b *clustermap.Result) bool {
+	if a.Score() != b.Score() {
+		return a.Score() < b.Score()
+	}
+	return a.Zeta1+a.Zeta2 < b.Zeta1+b.Zeta2
+}
+
+// AllowedClusters expands a cluster mapping into the per-DFG-node CGRA
+// cluster restriction handed to the lower-level mapper: every DFG node
+// may use any CGRA cluster its CDG node occupies. Memory operations
+// additionally get the clusters adjacent to their assignment — each
+// cluster owns only a handful of memory-capable PEs, so strict pinning
+// saturates bank ports long before FU slots run out, while the adjacent
+// cluster's bank is still one hop away.
+func AllowedClusters(d *dfg.Graph, a *arch.CGRA, p *spectral.Partition, cm *clustermap.Result) [][]int {
+	allowed := make([][]int, d.NumNodes())
+	for v := 0; v < d.NumNodes(); v++ {
+		cdgNode := p.Assign[v]
+		row := cm.Rows[cdgNode]
+		var cids []int
+		for _, col := range cm.Cols[cdgNode] {
+			cids = append(cids, a.ClusterID(row, col))
+		}
+		if d.Nodes[v].Op.IsMem() {
+			cids = withNeighbors(a, cids)
+		}
+		allowed[v] = cids
+	}
+	return allowed
+}
+
+// withNeighbors returns cids plus every cluster adjacent (cluster-grid
+// Manhattan distance 1) to one of them, deduplicated and sorted.
+func withNeighbors(a *arch.CGRA, cids []int) []int {
+	set := make(map[int]bool, 4*len(cids))
+	for _, cid := range cids {
+		set[cid] = true
+		r, c := a.ClusterCoord(cid)
+		for _, d := range [][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+			nr, nc := r+d[0], c+d[1]
+			if nr >= 0 && nr < a.ClusterRows && nc >= 0 && nc < a.ClusterCols {
+				set[a.ClusterID(nr, nc)] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for cid := range set {
+		out = append(out, cid)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// memBound returns the per-cluster memory-pressure lower bound on II
+// implied by a cluster restriction: memory ops pinned to one cluster
+// compete for its memory-capable PEs.
+func memBound(d *dfg.Graph, a *arch.CGRA, allowed [][]int) int {
+	memLoad := make([]int, a.NumClusters())
+	for v, cids := range allowed {
+		if len(cids) == 1 && d.Nodes[v].Op.IsMem() {
+			memLoad[cids[0]]++
+		}
+	}
+	bound := 1
+	for cid := 0; cid < a.NumClusters(); cid++ {
+		mems := 0
+		for _, pe := range a.PEsInCluster(cid) {
+			if a.PEs[pe].MemCapable {
+				mems++
+			}
+		}
+		if mems == 0 {
+			if memLoad[cid] > 0 {
+				return 1 << 20
+			}
+			continue
+		}
+		if b := (memLoad[cid] + mems - 1) / mems; b > bound {
+			bound = b
+		}
+	}
+	return bound
+}
+
+// relaxMemOps returns a copy of the restriction with memory operations
+// unrestricted.
+func relaxMemOps(d *dfg.Graph, allowed [][]int) [][]int {
+	out := make([][]int, len(allowed))
+	copy(out, allowed)
+	for v, nd := range d.Nodes {
+		if nd.Op.IsMem() {
+			out[v] = nil
+		}
+	}
+	return out
+}
+
+// MapBaseline runs the unguided lower-level mapper (the paper's SPR*
+// and Ultra-Fast baselines).
+func MapBaseline(d *dfg.Graph, a *arch.CGRA, lower Lower) (*Result, error) {
+	if err := d.Freeze(); err != nil {
+		return nil, err
+	}
+	res := &Result{Kernel: d.Name}
+	t := time.Now()
+	low, err := lower.Map(d, a, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.LowerTime = time.Since(t)
+	res.Lower = low
+	return res, nil
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+
+	"panorama/internal/arch"
+	"panorama/internal/dfg"
+	"panorama/internal/kernels"
+	"panorama/internal/spr"
+	"panorama/internal/ultrafast"
+)
+
+func firKernel(t *testing.T, scale float64) *dfg.Graph {
+	t.Helper()
+	spec, err := kernels.ByName("fir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec.Build(scale)
+}
+
+func TestMapPanoramaSPR(t *testing.T) {
+	d := firKernel(t, 0.25)
+	a := arch.Preset8x8()
+	res, err := MapPanorama(d, a, SPRLower{Options: spr.Options{Seed: 1}}, Config{Seed: 1, RelaxOnFailure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Lower.Success {
+		t.Fatal("Pan-SPR* failed to map fir")
+	}
+	if res.Partition == nil || res.CDG == nil || res.ClusterMap == nil {
+		t.Fatal("missing pipeline artefacts")
+	}
+	if res.Partition.K < a.ClusterRows {
+		t.Fatalf("chosen partition has %d clusters, below R=%d", res.Partition.K, a.ClusterRows)
+	}
+	if res.Lower.QoM <= 0 || res.Lower.QoM > 1 {
+		t.Fatalf("QoM = %v", res.Lower.QoM)
+	}
+	if res.TotalTime() <= 0 {
+		t.Fatal("timings not recorded")
+	}
+}
+
+func TestMapPanoramaUltraFast(t *testing.T) {
+	d := firKernel(t, 0.25)
+	a := arch.Preset8x8()
+	res, err := MapPanorama(d, a, UltraFastLower{}, Config{Seed: 2, RelaxOnFailure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Lower.Success {
+		t.Fatal("Pan-UltraFast failed to map fir")
+	}
+}
+
+func TestAllowedClustersCoverAllNodes(t *testing.T) {
+	d := firKernel(t, 0.25)
+	a := arch.Preset8x8()
+	res, err := MapPanorama(d, a, UltraFastLower{}, Config{Seed: 3, RelaxOnFailure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := AllowedClusters(d, a, res.Partition, res.ClusterMap)
+	if len(allowed) != d.NumNodes() {
+		t.Fatalf("allowed has %d entries", len(allowed))
+	}
+	for v, cids := range allowed {
+		if len(cids) == 0 {
+			t.Fatalf("node %d has no allowed clusters", v)
+		}
+		for _, cid := range cids {
+			if cid < 0 || cid >= a.NumClusters() {
+				t.Fatalf("node %d allowed invalid cluster %d", v, cid)
+			}
+		}
+	}
+}
+
+func TestBaselineVsPanorama(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison in -short mode")
+	}
+	spec, _ := kernels.ByName("conv2d")
+	d := spec.Build(0.25)
+	a := arch.Preset8x8()
+
+	base, err := MapBaseline(d, a, SPRLower{Options: spr.Options{Seed: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pan, err := MapPanorama(d, a, SPRLower{Options: spr.Options{Seed: 4}}, Config{Seed: 4, RelaxOnFailure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pan.Lower.Success {
+		t.Fatal("Pan-SPR* failed")
+	}
+	// Guard against catastrophic guidance regressions. At this scaled
+	// size the baseline often maps near MII, so Panorama can only tie
+	// or trail slightly (the paper's gains appear at full scale; see
+	// EXPERIMENTS.md); a gap beyond two II steps means the guidance is
+	// actively broken.
+	if base.Lower.Success && pan.Lower.II > base.Lower.II+2 {
+		t.Fatalf("Pan II=%d much worse than baseline II=%d", pan.Lower.II, base.Lower.II)
+	}
+}
+
+func TestMapBaselineRecordsTime(t *testing.T) {
+	d := firKernel(t, 0.2)
+	res, err := MapBaseline(d, arch.Preset8x8(), UltraFastLower{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LowerTime <= 0 {
+		t.Fatal("LowerTime not recorded")
+	}
+	if res.Partition != nil {
+		t.Fatal("baseline must not have a partition")
+	}
+}
+
+func TestLowerNames(t *testing.T) {
+	if (SPRLower{}).Name() != "spr" || (UltraFastLower{}).Name() != "ultrafast" {
+		t.Fatal("bad lower names")
+	}
+}
+
+func TestRelaxMemOps(t *testing.T) {
+	g := dfg.New("t")
+	ld := g.AddNode(dfg.OpLoad, "")
+	ad := g.AddNode(dfg.OpAdd, "")
+	g.AddEdge(ld, ad)
+	g.MustFreeze()
+	allowed := [][]int{{1}, {2}}
+	out := relaxMemOps(g, allowed)
+	if out[ld] != nil {
+		t.Fatal("load not relaxed")
+	}
+	if out[ad] == nil || out[ad][0] != 2 {
+		t.Fatal("non-mem op restriction lost")
+	}
+	if allowed[0] == nil {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestUltraFastLowerRespectsOptions(t *testing.T) {
+	d := firKernel(t, 0.2)
+	a := arch.Preset8x8()
+	res, err := UltraFastLower{Options: ultrafast.Options{CrossbarCap: 1}}.Map(d, a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res4, err := UltraFastLower{Options: ultrafast.Options{CrossbarCap: 8}}.Map(d, a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success && res4.Success && res.II < res4.II {
+		t.Fatalf("tighter crossbar yielded better II (%d < %d)", res.II, res4.II)
+	}
+}

@@ -1,0 +1,59 @@
+package dfg
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// MarshalJSON encodes the graph (name, nodes, edges) as JSON.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	type wire struct {
+		Name  string `json:"name"`
+		Nodes []Node `json:"nodes"`
+		Edges []Edge `json:"edges"`
+	}
+	return json.Marshal(wire{Name: g.Name, Nodes: g.Nodes, Edges: g.Edges})
+}
+
+// UnmarshalJSON decodes a graph previously written by MarshalJSON and
+// validates it.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	type wire struct {
+		Name  string `json:"name"`
+		Nodes []Node `json:"nodes"`
+		Edges []Edge `json:"edges"`
+	}
+	var w wire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*g = Graph{Name: w.Name, Nodes: w.Nodes, Edges: w.Edges}
+	return g.Validate()
+}
+
+// WriteDOT writes the graph in Graphviz DOT format. Recurrence edges
+// are dashed and annotated with their distance.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  node [shape=box, fontsize=10];\n")
+	for _, nd := range g.Nodes {
+		label := nd.Op.String()
+		if nd.Name != "" {
+			label = nd.Name + "\\n" + label
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%d: %s\"];\n", nd.ID, nd.ID, label)
+	}
+	for _, e := range g.Edges {
+		if e.Dist > 0 {
+			fmt.Fprintf(&b, "  n%d -> n%d [style=dashed, label=\"d=%d\"];\n", e.From, e.To, e.Dist)
+		} else {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", e.From, e.To)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,121 @@
+package ilp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: minimising a sum of AbsVars equals the true minimum of the
+// sum of absolute expression values over the feasible box.
+func TestQuickAbsLinearisation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewModel()
+		n := rng.Intn(3) + 2
+		ids := make([]VarID, n)
+		los := make([]int, n)
+		his := make([]int, n)
+		for i := range ids {
+			los[i] = rng.Intn(3) - 1
+			his[i] = los[i] + rng.Intn(3)
+			ids[i] = m.IntVar("v", los[i], his[i])
+		}
+		// Two absolute terms with random coefficients and offsets.
+		nTerms := rng.Intn(2) + 1
+		type absTerm struct {
+			coefs []int
+			off   int
+		}
+		terms := make([]absTerm, nTerms)
+		var obj Expr
+		for ti := range terms {
+			coefs := make([]int, n)
+			var e Expr
+			for i := range ids {
+				coefs[i] = rng.Intn(5) - 2
+				e = e.Plus(ids[i], coefs[i])
+			}
+			off := rng.Intn(7) - 3
+			e = e.PlusConst(off)
+			terms[ti] = absTerm{coefs, off}
+			tv := m.AbsVar("t", e, 200)
+			obj = obj.Plus(tv, 1)
+		}
+		m.Minimize(obj)
+		res := m.Solve(Options{})
+		if res.Status != Optimal {
+			return false
+		}
+
+		// Brute force the true minimum.
+		best := 1 << 30
+		assign := make([]int, n)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == n {
+				total := 0
+				for _, tm := range terms {
+					s := tm.off
+					for j := range assign {
+						s += tm.coefs[j] * assign[j]
+					}
+					if s < 0 {
+						s = -s
+					}
+					total += s
+				}
+				if total < best {
+					best = total
+				}
+				return
+			}
+			for v := los[i]; v <= his[i]; v++ {
+				assign[i] = v
+				rec(i + 1)
+			}
+		}
+		rec(0)
+		return res.Objective == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExprPlusDoesNotAliasInput(t *testing.T) {
+	m := NewModel()
+	x := m.Binary("x")
+	y := m.Binary("y")
+	base := NewExpr(Term{x, 1})
+	a := base.Plus(y, 1)
+	b := base.Plus(y, 2)
+	if len(a.Terms) != 2 || len(b.Terms) != 2 {
+		t.Fatal("Plus lost terms")
+	}
+	if a.Terms[1].Coef == b.Terms[1].Coef {
+		t.Fatal("Plus aliased the underlying slice")
+	}
+}
+
+func TestNumVars(t *testing.T) {
+	m := NewModel()
+	m.Binary("a")
+	m.IntVar("b", 0, 3)
+	if m.NumVars() != 2 {
+		t.Fatalf("NumVars = %d", m.NumVars())
+	}
+}
+
+func TestMaximiseViaNegation(t *testing.T) {
+	// max(x + y) with x+2y <= 4 over binaries: x=1,y=1 -> 2.
+	m := NewModel()
+	x := m.Binary("x")
+	y := m.Binary("y")
+	m.AddLE(NewExpr(Term{x, 1}, Term{y, 2}), 4, "cap")
+	m.Minimize(NewExpr(Term{x, -1}, Term{y, -1}))
+	res := m.Solve(Options{})
+	if res.Status != Optimal || -res.Objective != 2 {
+		t.Fatalf("max = %d, want 2", -res.Objective)
+	}
+}

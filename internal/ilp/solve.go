@@ -1,0 +1,259 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Status reports the outcome of Solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal: the returned assignment is a proven optimum.
+	Optimal Status = iota
+	// Infeasible: no assignment satisfies the constraints.
+	Infeasible
+	// Limit: the node budget was exhausted; Result holds the best
+	// incumbent found so far (Feasible reports whether one exists).
+	Limit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Limit:
+		return "limit"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// Options tunes the search.
+type Options struct {
+	MaxNodes int // branch-and-bound node budget (default 2_000_000)
+}
+
+// Result is the outcome of a solve.
+type Result struct {
+	Status    Status
+	Feasible  bool  // an incumbent assignment exists
+	Objective int   // objective of the incumbent (valid when Feasible)
+	Assign    []int // variable values of the incumbent (valid when Feasible)
+	Nodes     int   // nodes explored
+}
+
+// Value returns the incumbent value of v.
+func (r *Result) Value(v VarID) int { return r.Assign[v] }
+
+type solver struct {
+	m        *Model
+	lo, hi   []int
+	best     int
+	bestAsg  []int
+	feasible bool
+	nodes    int
+	maxNodes int
+}
+
+// Solve runs branch-and-bound and returns the best assignment.
+func (m *Model) Solve(opts Options) *Result {
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = 2_000_000
+	}
+	s := &solver{
+		m:        m,
+		lo:       make([]int, len(m.vars)),
+		hi:       make([]int, len(m.vars)),
+		best:     math.MaxInt,
+		maxNodes: opts.MaxNodes,
+	}
+	for i, v := range m.vars {
+		s.lo[i], s.hi[i] = v.lo, v.hi
+	}
+	s.dfs()
+
+	res := &Result{Nodes: s.nodes}
+	if s.feasible {
+		res.Feasible = true
+		res.Objective = s.best + m.objC
+		res.Assign = s.bestAsg
+	}
+	switch {
+	case s.nodes >= s.maxNodes:
+		res.Status = Limit
+	case s.feasible:
+		res.Status = Optimal
+	default:
+		res.Status = Infeasible
+	}
+	return res
+}
+
+// dfs explores the current node: propagate, bound, branch.
+func (s *solver) dfs() {
+	if s.nodes >= s.maxNodes {
+		return
+	}
+	s.nodes++
+	if !s.propagate() {
+		return
+	}
+	if s.objLowerBound() >= s.best && s.feasible {
+		return
+	}
+	branch := s.pickBranchVar()
+	if branch < 0 {
+		// All variables fixed: feasibility was proven by propagation.
+		obj := 0
+		for _, t := range s.m.obj {
+			obj += t.Coef * s.lo[t.Var]
+		}
+		if obj < s.best || !s.feasible {
+			if obj < s.best {
+				s.best = obj
+			}
+			s.feasible = true
+			s.bestAsg = append([]int(nil), s.lo...)
+		}
+		return
+	}
+
+	saveLo := append([]int(nil), s.lo...)
+	saveHi := append([]int(nil), s.hi...)
+	for _, val := range s.valueOrder(branch) {
+		s.lo[branch], s.hi[branch] = val, val
+		s.dfs()
+		copy(s.lo, saveLo)
+		copy(s.hi, saveHi)
+		if s.nodes >= s.maxNodes {
+			return
+		}
+	}
+}
+
+// propagate enforces bound consistency over all constraints until a
+// fixpoint (bounded passes); returns false on wipeout.
+func (s *solver) propagate() bool {
+	for pass := 0; pass < 16; pass++ {
+		changed := false
+		for ci := range s.m.cons {
+			c := &s.m.cons[ci]
+			minSum := 0
+			for _, t := range c.terms {
+				minSum += minProd(t.Coef, s.lo[t.Var], s.hi[t.Var])
+			}
+			if minSum > c.rhs {
+				return false
+			}
+			for _, t := range c.terms {
+				if t.Coef == 0 {
+					continue
+				}
+				own := minProd(t.Coef, s.lo[t.Var], s.hi[t.Var])
+				residual := c.rhs - (minSum - own)
+				// t.Coef * x <= residual
+				if t.Coef > 0 {
+					ub := floorDiv(residual, t.Coef)
+					if ub < s.hi[t.Var] {
+						s.hi[t.Var] = ub
+						if s.lo[t.Var] > ub {
+							return false
+						}
+						changed = true
+					}
+				} else {
+					lb := ceilDiv(residual, t.Coef)
+					if lb > s.lo[t.Var] {
+						s.lo[t.Var] = lb
+						if lb > s.hi[t.Var] {
+							return false
+						}
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+	return true
+}
+
+// objLowerBound returns an optimistic (minimum possible) objective for
+// the current domains.
+func (s *solver) objLowerBound() int {
+	lb := 0
+	for _, t := range s.m.obj {
+		lb += minProd(t.Coef, s.lo[t.Var], s.hi[t.Var])
+	}
+	return lb
+}
+
+// pickBranchVar returns the unfixed variable with the smallest domain,
+// or -1 if all are fixed.
+func (s *solver) pickBranchVar() int {
+	best, bestSpan := -1, math.MaxInt
+	for i := range s.lo {
+		span := s.hi[i] - s.lo[i]
+		if span > 0 && span < bestSpan {
+			best, bestSpan = i, span
+			if span == 1 {
+				break
+			}
+		}
+	}
+	return best
+}
+
+// valueOrder enumerates the domain of v, trying the objective-friendly
+// end first.
+func (s *solver) valueOrder(v int) []int {
+	coef := 0
+	for _, t := range s.m.obj {
+		if int(t.Var) == v {
+			coef += t.Coef
+		}
+	}
+	n := s.hi[v] - s.lo[v] + 1
+	vals := make([]int, n)
+	if coef > 0 {
+		for i := range vals {
+			vals[i] = s.lo[v] + i
+		}
+	} else {
+		for i := range vals {
+			vals[i] = s.hi[v] - i
+		}
+	}
+	return vals
+}
+
+// minProd returns the minimum of coef*x for x in [lo, hi].
+func minProd(coef, lo, hi int) int {
+	if coef >= 0 {
+		return coef * lo
+	}
+	return coef * hi
+}
+
+// floorDiv returns floor(a/b) for b != 0.
+func floorDiv(a, b int) int {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// ceilDiv returns ceil(a/b) for b != 0.
+func ceilDiv(a, b int) int {
+	q := a / b
+	if (a%b != 0) && ((a < 0) == (b < 0)) {
+		q++
+	}
+	return q
+}

@@ -1,0 +1,51 @@
+package kernels
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"panorama/internal/dfg"
+)
+
+func TestKernelsSerialiseJSON(t *testing.T) {
+	for _, spec := range All() {
+		g := spec.Build(0.2)
+		data, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", spec.Name, err)
+		}
+		var back dfg.Graph
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", spec.Name, err)
+		}
+		if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: round trip changed the graph", spec.Name)
+		}
+	}
+}
+
+func TestKernelsEmitDOT(t *testing.T) {
+	for _, spec := range All() {
+		g := spec.Build(0.15)
+		var buf bytes.Buffer
+		if err := g.WriteDOT(&buf); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if buf.Len() < 100 {
+			t.Fatalf("%s: DOT output suspiciously short", spec.Name)
+		}
+	}
+}
+
+func TestRecurrenceKernelsKeepBackEdgesAcrossScales(t *testing.T) {
+	for _, name := range []string{"edn", "matchedfilter"} {
+		spec, _ := ByName(name)
+		for _, scale := range []float64{0.15, 0.5, 1.0} {
+			g := spec.Build(scale)
+			if g.ComputeStats().BackEdges == 0 {
+				t.Errorf("%s at %v: lost its recurrence", name, scale)
+			}
+		}
+	}
+}

@@ -1,0 +1,387 @@
+// Package kernels synthesises the loop-body DFGs of the twelve
+// benchmark kernels evaluated in the paper (Table 1a). The paper
+// extracts them from annotated C sources (mediabench / embench) with an
+// LLVM pass; this package instead generates them structurally — same
+// operation mix, comparable node/edge counts and fan-out, unrolled
+// iterations, loads/stores at the boundaries, and recurrence edges for
+// accumulator-style kernels — so the mapper sees graphs of the same
+// shape. See DESIGN.md for the substitution rationale.
+//
+// Every generator takes a scale factor: 1.0 approximates the paper's
+// node counts (hundreds of nodes after unrolling); the benchmark
+// harness defaults to 0.25 so that the scaled-down 8x8 CGRA keeps the
+// paper's DFG-nodes-per-PE ratio.
+package kernels
+
+import (
+	"fmt"
+
+	"panorama/internal/dfg"
+)
+
+// Spec describes one benchmark kernel.
+type Spec struct {
+	Name  string
+	Suite string // "mediabench" or "embench" (provenance in the paper)
+	Build func(scale float64) *dfg.Graph
+}
+
+// All returns the twelve paper kernels in Table 1a order.
+func All() []Spec {
+	return []Spec{
+		{"edn", "embench", Edn},
+		{"idctcols", "mediabench", IDCTCols},
+		{"idctrows", "mediabench", IDCTRows},
+		{"conv2d", "mediabench", Conv2D},
+		{"matchedfilter", "mediabench", MatchedFilter},
+		{"mmul", "embench", MatMul},
+		{"cordic", "embench", Cordic},
+		{"kmeans", "embench", KMeans},
+		{"fir", "mediabench", FIR},
+		{"jpegfdct", "mediabench", JPEGFDCT},
+		{"jpegidctfst", "mediabench", JPEGIDCTFast},
+		{"invertmat", "mediabench", InvertMat},
+	}
+}
+
+// ByName returns the named kernel spec.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("kernels: unknown kernel %q", name)
+}
+
+// Names returns the kernel names in Table 1a order.
+func Names() []string {
+	specs := All()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// scaleInt scales an integer dimension, keeping a floor of min.
+func scaleInt(base int, scale float64, min int) int {
+	v := int(float64(base)*scale + 0.5)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// reduceTree sums the inputs with a balanced binary adder tree and
+// returns the root node id.
+func reduceTree(g *dfg.Graph, inputs []int) int {
+	if len(inputs) == 0 {
+		panic("kernels: reduceTree with no inputs")
+	}
+	level := append([]int(nil), inputs...)
+	for len(level) > 1 {
+		var next []int
+		for i := 0; i+1 < len(level); i += 2 {
+			s := g.AddNode(dfg.OpAdd, "")
+			g.AddEdge(level[i], s)
+			g.AddEdge(level[i+1], s)
+			next = append(next, s)
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// FIR is a T-tap finite impulse response filter unrolled over U
+// outputs. Coefficients are loop-invariant constants with fan-out U;
+// input samples are shared between overlapping windows.
+func FIR(scale float64) *dfg.Graph {
+	taps := scaleInt(14, sqrtScale(scale), 3)
+	unroll := scaleInt(8, sqrtScale(scale), 2)
+	g := dfg.New("fir")
+
+	coeff := make([]int, taps)
+	for t := range coeff {
+		coeff[t] = g.AddNode(dfg.OpConst, fmt.Sprintf("c%d", t))
+	}
+	samples := make([]int, taps+unroll-1)
+	for i := range samples {
+		samples[i] = g.AddNode(dfg.OpLoad, fmt.Sprintf("x%d", i))
+	}
+	for u := 0; u < unroll; u++ {
+		prods := make([]int, taps)
+		for t := 0; t < taps; t++ {
+			m := g.AddNode(dfg.OpMul, "")
+			g.AddEdge(samples[u+t], m)
+			g.AddEdge(coeff[t], m)
+			prods[t] = m
+		}
+		sum := reduceTree(g, prods)
+		st := g.AddNode(dfg.OpStore, fmt.Sprintf("y%d", u))
+		g.AddEdge(sum, st)
+	}
+	g.MustFreeze()
+	return g
+}
+
+// Conv2D is a 3x3 2-D convolution unrolled over a row of output pixels.
+func Conv2D(scale float64) *dfg.Graph {
+	unroll := scaleInt(22, scale, 2)
+	g := dfg.New("conv2d")
+
+	kern := make([]int, 9)
+	for i := range kern {
+		kern[i] = g.AddNode(dfg.OpConst, fmt.Sprintf("k%d", i))
+	}
+	// Three input rows, shared across overlapping windows.
+	rows := make([][]int, 3)
+	for r := range rows {
+		rows[r] = make([]int, unroll+2)
+		for c := range rows[r] {
+			rows[r][c] = g.AddNode(dfg.OpLoad, fmt.Sprintf("in%d_%d", r, c))
+		}
+	}
+	for u := 0; u < unroll; u++ {
+		var prods []int
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				m := g.AddNode(dfg.OpMul, "")
+				g.AddEdge(rows[r][u+c], m)
+				g.AddEdge(kern[3*r+c], m)
+				prods = append(prods, m)
+			}
+		}
+		sum := reduceTree(g, prods)
+		sh := g.AddNode(dfg.OpShr, "") // normalisation shift
+		g.AddEdge(sum, sh)
+		st := g.AddNode(dfg.OpStore, fmt.Sprintf("out%d", u))
+		g.AddEdge(sh, st)
+	}
+	g.MustFreeze()
+	return g
+}
+
+// MatMul multiplies a RxK tile by a KxC tile (dot products with shared
+// row/column loads).
+func MatMul(scale float64) *dfg.Graph {
+	k := scaleInt(12, sqrtScale(scale), 2)
+	dim := scaleInt(4, sqrtScale(scale), 2)
+	g := dfg.New("mmul")
+
+	aLoads := make([][]int, dim)
+	bLoads := make([][]int, k)
+	for i := 0; i < dim; i++ {
+		aLoads[i] = make([]int, k)
+		for x := 0; x < k; x++ {
+			aLoads[i][x] = g.AddNode(dfg.OpLoad, fmt.Sprintf("a%d_%d", i, x))
+		}
+	}
+	for x := 0; x < k; x++ {
+		bLoads[x] = make([]int, dim)
+		for j := 0; j < dim; j++ {
+			bLoads[x][j] = g.AddNode(dfg.OpLoad, fmt.Sprintf("b%d_%d", x, j))
+		}
+	}
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			prods := make([]int, k)
+			for x := 0; x < k; x++ {
+				m := g.AddNode(dfg.OpMul, "")
+				g.AddEdge(aLoads[i][x], m)
+				g.AddEdge(bLoads[x][j], m)
+				prods[x] = m
+			}
+			sum := reduceTree(g, prods)
+			st := g.AddNode(dfg.OpStore, fmt.Sprintf("c%d_%d", i, j))
+			g.AddEdge(sum, st)
+		}
+	}
+	g.MustFreeze()
+	return g
+}
+
+// MatchedFilter correlates an input window against a stored template
+// whose coefficients have very high fan-out (the paper reports max
+// degree 75 for this kernel), followed by a peak (max) reduction with
+// an inter-iteration recurrence.
+func MatchedFilter(scale float64) *dfg.Graph {
+	tmpl := scaleInt(10, sqrtScale(scale), 3)
+	unroll := scaleInt(16, sqrtScale(scale), 2)
+	g := dfg.New("matchedfilter")
+
+	coeff := make([]int, tmpl)
+	for i := range coeff {
+		coeff[i] = g.AddNode(dfg.OpConst, fmt.Sprintf("h%d", i))
+	}
+	samples := make([]int, tmpl+unroll-1)
+	for i := range samples {
+		samples[i] = g.AddNode(dfg.OpLoad, fmt.Sprintf("x%d", i))
+	}
+	var peaks []int
+	for u := 0; u < unroll; u++ {
+		prods := make([]int, tmpl)
+		for i := 0; i < tmpl; i++ {
+			m := g.AddNode(dfg.OpMul, "")
+			g.AddEdge(samples[u+i], m)
+			g.AddEdge(coeff[i], m)
+			prods[i] = m
+		}
+		sum := reduceTree(g, prods)
+		peaks = append(peaks, sum)
+	}
+	// Per-window maximum (intra-iteration compare/select tree).
+	cur := peaks[0]
+	for _, p := range peaks[1:] {
+		cmp := g.AddNode(dfg.OpCmp, "")
+		g.AddEdge(cur, cmp)
+		g.AddEdge(p, cmp)
+		sel := g.AddNode(dfg.OpSelect, "")
+		g.AddEdge(cmp, sel)
+		g.AddEdge(p, sel)
+		cur = sel
+	}
+	st := g.AddNode(dfg.OpStore, "peak")
+	g.AddEdge(cur, st)
+	// Energy accumulator carried across iterations: a one-add cycle, so
+	// RecMII stays 1 while the kernel still exercises back-edge routing.
+	energy := reduceTree(g, append([]int(nil), peaks...))
+	acc := g.AddNode(dfg.OpAdd, "energy")
+	g.AddEdge(energy, acc)
+	g.AddEdgeDist(acc, acc, 1)
+	stE := g.AddNode(dfg.OpStore, "energyOut")
+	g.AddEdge(acc, stE)
+	g.MustFreeze()
+	return g
+}
+
+// Cordic unrolls iterations of the CORDIC rotation: per iteration two
+// arithmetic shifts, three adds/subtracts, a comparison and two
+// selects, with x/y/z flowing between iterations.
+func Cordic(scale float64) *dfg.Graph {
+	iters := scaleInt(28, scale, 2)
+	g := dfg.New("cordic")
+
+	x := g.AddNode(dfg.OpLoad, "x0")
+	y := g.AddNode(dfg.OpLoad, "y0")
+	z := g.AddNode(dfg.OpLoad, "z0")
+	for i := 0; i < iters; i++ {
+		atan := g.AddNode(dfg.OpConst, fmt.Sprintf("atan%d", i))
+		sx := g.AddNode(dfg.OpShr, "")
+		g.AddEdge(x, sx)
+		sy := g.AddNode(dfg.OpShr, "")
+		g.AddEdge(y, sy)
+		sign := g.AddNode(dfg.OpCmp, "")
+		g.AddEdge(z, sign)
+		nx := g.AddNode(dfg.OpSub, "")
+		g.AddEdge(x, nx)
+		g.AddEdge(sy, nx)
+		ny := g.AddNode(dfg.OpAdd, "")
+		g.AddEdge(y, ny)
+		g.AddEdge(sx, ny)
+		nz := g.AddNode(dfg.OpSub, "")
+		g.AddEdge(z, nz)
+		g.AddEdge(atan, nz)
+		selx := g.AddNode(dfg.OpSelect, "")
+		g.AddEdge(sign, selx)
+		g.AddEdge(nx, selx)
+		sely := g.AddNode(dfg.OpSelect, "")
+		g.AddEdge(sign, sely)
+		g.AddEdge(ny, sely)
+		x, y, z = selx, sely, nz
+	}
+	for i, v := range []int{x, y, z} {
+		st := g.AddNode(dfg.OpStore, fmt.Sprintf("o%d", i))
+		g.AddEdge(v, st)
+	}
+	g.MustFreeze()
+	return g
+}
+
+// KMeans computes point-to-centroid squared distances for a batch of
+// points and a running argmin with a carried minimum.
+func KMeans(scale float64) *dfg.Graph {
+	points := scaleInt(12, sqrtScale(scale), 2)
+	centroids := scaleInt(4, sqrtScale(scale), 2)
+	const dims = 3
+	g := dfg.New("kmeans")
+
+	cents := make([][]int, centroids)
+	for c := range cents {
+		cents[c] = make([]int, dims)
+		for d := range cents[c] {
+			cents[c][d] = g.AddNode(dfg.OpConst, fmt.Sprintf("c%d_%d", c, d))
+		}
+	}
+	for p := 0; p < points; p++ {
+		coords := make([]int, dims)
+		for d := range coords {
+			coords[d] = g.AddNode(dfg.OpLoad, fmt.Sprintf("p%d_%d", p, d))
+		}
+		var best int = -1
+		for c := 0; c < centroids; c++ {
+			var sq []int
+			for d := 0; d < dims; d++ {
+				sub := g.AddNode(dfg.OpSub, "")
+				g.AddEdge(coords[d], sub)
+				g.AddEdge(cents[c][d], sub)
+				mul := g.AddNode(dfg.OpMul, "")
+				g.AddEdge(sub, mul)
+				g.AddEdge(sub, mul)
+				sq = append(sq, mul)
+			}
+			dist := reduceTree(g, sq)
+			if best < 0 {
+				best = dist
+				continue
+			}
+			cmp := g.AddNode(dfg.OpCmp, "")
+			g.AddEdge(best, cmp)
+			g.AddEdge(dist, cmp)
+			sel := g.AddNode(dfg.OpSelect, "")
+			g.AddEdge(cmp, sel)
+			g.AddEdge(dist, sel)
+			best = sel
+		}
+		st := g.AddNode(dfg.OpStore, fmt.Sprintf("assign%d", p))
+		g.AddEdge(best, st)
+	}
+	dupEdgeGuard(g)
+	g.MustFreeze()
+	return g
+}
+
+func sqrtScale(scale float64) float64 {
+	// Two-dimensional kernels scale each dimension by sqrt(scale) so
+	// the node count scales by ~scale.
+	if scale <= 0 {
+		return 0
+	}
+	s := scale
+	// Newton iteration, avoids importing math for one call site.
+	x := s
+	for i := 0; i < 20; i++ {
+		x = 0.5 * (x + s/x)
+	}
+	return x
+}
+
+// dupEdgeGuard deduplicates edges that generators might emit twice
+// (e.g. squaring uses the same operand on both inputs, which the DFG
+// model forbids as duplicates). Generators call it before MustFreeze.
+func dupEdgeGuard(g *dfg.Graph) {
+	seen := make(map[[3]int]bool, len(g.Edges))
+	var out []dfg.Edge
+	for _, e := range g.Edges {
+		key := [3]int{e.From, e.To, e.Dist}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, e)
+	}
+	g.Edges = out
+}

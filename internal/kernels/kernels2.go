@@ -1,0 +1,330 @@
+package kernels
+
+import (
+	"fmt"
+
+	"panorama/internal/dfg"
+)
+
+// Edn models the embench "edn" DSP kernel: a vector-multiply phase
+// (vec_mpy: a[i] += b[i]*scale) followed by a dot-product MAC phase
+// with a carried accumulator.
+func Edn(scale float64) *dfg.Graph {
+	vecIters := scaleInt(45, scale, 2)
+	macIters := scaleInt(55, scale, 2)
+	g := dfg.New("edn")
+
+	// Two scale constants alternate, keeping max fan-out moderate like
+	// the paper's edn (max degree 25).
+	scales := []int{
+		g.AddNode(dfg.OpConst, "s0"),
+		g.AddNode(dfg.OpConst, "s1"),
+	}
+	for i := 0; i < vecIters; i++ {
+		b := g.AddNode(dfg.OpLoad, fmt.Sprintf("b%d", i))
+		m := g.AddNode(dfg.OpMul, "")
+		g.AddEdge(b, m)
+		g.AddEdge(scales[i%2], m)
+		a := g.AddNode(dfg.OpLoad, fmt.Sprintf("a%d", i))
+		s := g.AddNode(dfg.OpAdd, "")
+		g.AddEdge(a, s)
+		g.AddEdge(m, s)
+		st := g.AddNode(dfg.OpStore, fmt.Sprintf("ao%d", i))
+		g.AddEdge(s, st)
+	}
+
+	// MAC phase: partial products tree-reduced, accumulated across
+	// iterations by a single-add recurrence.
+	var prods []int
+	for i := 0; i < macIters; i++ {
+		x := g.AddNode(dfg.OpLoad, fmt.Sprintf("x%d", i))
+		y := g.AddNode(dfg.OpLoad, fmt.Sprintf("y%d", i))
+		m := g.AddNode(dfg.OpMul, "")
+		g.AddEdge(x, m)
+		g.AddEdge(y, m)
+		prods = append(prods, m)
+	}
+	sum := reduceTree(g, prods)
+	acc := g.AddNode(dfg.OpAdd, "acc")
+	g.AddEdge(sum, acc)
+	g.AddEdgeDist(acc, acc, 1)
+	st := g.AddNode(dfg.OpStore, "macOut")
+	g.AddEdge(acc, st)
+	g.MustFreeze()
+	return g
+}
+
+// butterfly8 emits an 8-point butterfly network (the shared skeleton of
+// the DCT/IDCT kernels): a first add/sub stage, two rotation blocks,
+// and two combination stages. consts must provide at least six
+// coefficient nodes. Returns the eight output value ids.
+func butterfly8(g *dfg.Graph, in [8]int, consts []int) [8]int {
+	addSub := func(a, b int) (int, int) {
+		s := g.AddNode(dfg.OpAdd, "")
+		g.AddEdge(a, s)
+		g.AddEdge(b, s)
+		d := g.AddNode(dfg.OpSub, "")
+		g.AddEdge(a, d)
+		g.AddEdge(b, d)
+		return s, d
+	}
+	rotate := func(a, b, c1, c2 int) (int, int) {
+		// (a*c1 + b*c2, b*c1 - a*c2): 4 muls, 1 add, 1 sub.
+		m1 := g.AddNode(dfg.OpMul, "")
+		g.AddEdge(a, m1)
+		g.AddEdge(c1, m1)
+		m2 := g.AddNode(dfg.OpMul, "")
+		g.AddEdge(b, m2)
+		g.AddEdge(c2, m2)
+		m3 := g.AddNode(dfg.OpMul, "")
+		g.AddEdge(b, m3)
+		g.AddEdge(c1, m3)
+		m4 := g.AddNode(dfg.OpMul, "")
+		g.AddEdge(a, m4)
+		g.AddEdge(c2, m4)
+		s := g.AddNode(dfg.OpAdd, "")
+		g.AddEdge(m1, s)
+		g.AddEdge(m2, s)
+		d := g.AddNode(dfg.OpSub, "")
+		g.AddEdge(m3, d)
+		g.AddEdge(m4, d)
+		return s, d
+	}
+
+	// Stage 1: fold ends.
+	s0, d0 := addSub(in[0], in[7])
+	s1, d1 := addSub(in[1], in[6])
+	s2, d2 := addSub(in[2], in[5])
+	s3, d3 := addSub(in[3], in[4])
+	// Stage 2 even: fold again.
+	e0, e1 := addSub(s0, s3)
+	e2, e3 := addSub(s1, s2)
+	// Even rotations.
+	r0, r1 := rotate(e2, e3, consts[0], consts[1])
+	// Stage 3 even outputs.
+	o0, o4 := addSub(e0, e1)
+	o2, o6 := addSub(r0, r1)
+	// Odd rotations.
+	r2, r3 := rotate(d0, d3, consts[2], consts[3])
+	r4, r5 := rotate(d1, d2, consts[4], consts[5])
+	o1, o5 := addSub(r2, r4)
+	o3, o7 := addSub(r3, r5)
+	return [8]int{o0, o1, o2, o3, o4, o5, o6, o7}
+}
+
+// IDCTCols applies the 8-point inverse DCT butterfly to unrolled
+// columns of an 8x8 block, with descaling shifts on the outputs.
+func IDCTCols(scale float64) *dfg.Graph {
+	cols := scaleInt(8, scale, 1)
+	g := dfg.New("idctcols")
+	consts := make([]int, 6)
+	for i := range consts {
+		consts[i] = g.AddNode(dfg.OpConst, fmt.Sprintf("c%d", i))
+	}
+	for c := 0; c < cols; c++ {
+		var in [8]int
+		for r := 0; r < 8; r++ {
+			in[r] = g.AddNode(dfg.OpLoad, fmt.Sprintf("in%d_%d", r, c))
+		}
+		out := butterfly8(g, in, consts)
+		for r, v := range out {
+			sh := g.AddNode(dfg.OpShr, "")
+			g.AddEdge(v, sh)
+			st := g.AddNode(dfg.OpStore, fmt.Sprintf("out%d_%d", r, c))
+			g.AddEdge(sh, st)
+		}
+	}
+	g.MustFreeze()
+	return g
+}
+
+// IDCTRows is the row pass of the 8x8 inverse DCT: the same butterfly
+// plus per-output rounding (add a rounding constant) and clipping
+// (compare + select), which gives it the denser edge profile the paper
+// reports for idctrows.
+func IDCTRows(scale float64) *dfg.Graph {
+	rows := scaleInt(8, scale, 1)
+	g := dfg.New("idctrows")
+	consts := make([]int, 6)
+	for i := range consts {
+		consts[i] = g.AddNode(dfg.OpConst, fmt.Sprintf("c%d", i))
+	}
+	round := g.AddNode(dfg.OpConst, "round")
+	for r := 0; r < rows; r++ {
+		var in [8]int
+		for c := 0; c < 8; c++ {
+			in[c] = g.AddNode(dfg.OpLoad, fmt.Sprintf("in%d_%d", r, c))
+		}
+		out := butterfly8(g, in, consts)
+		for c, v := range out {
+			rnd := g.AddNode(dfg.OpAdd, "")
+			g.AddEdge(v, rnd)
+			g.AddEdge(round, rnd)
+			sh := g.AddNode(dfg.OpShr, "")
+			g.AddEdge(rnd, sh)
+			st := g.AddNode(dfg.OpStore, fmt.Sprintf("out%d_%d", r, c))
+			g.AddEdge(sh, st)
+		}
+	}
+	g.MustFreeze()
+	return g
+}
+
+// JPEGFDCT is the forward DCT over unrolled rows: butterfly plus
+// quantisation multiply and shift per output.
+func JPEGFDCT(scale float64) *dfg.Graph {
+	rows := scaleInt(8, scale, 1)
+	g := dfg.New("jpegfdct")
+	consts := make([]int, 6)
+	for i := range consts {
+		consts[i] = g.AddNode(dfg.OpConst, fmt.Sprintf("c%d", i))
+	}
+	quant := g.AddNode(dfg.OpConst, "quant")
+	for r := 0; r < rows; r++ {
+		var in [8]int
+		for c := 0; c < 8; c++ {
+			in[c] = g.AddNode(dfg.OpLoad, fmt.Sprintf("in%d_%d", r, c))
+		}
+		out := butterfly8(g, in, consts)
+		for c, v := range out {
+			q := g.AddNode(dfg.OpMul, "")
+			g.AddEdge(v, q)
+			g.AddEdge(quant, q)
+			sh := g.AddNode(dfg.OpShr, "")
+			g.AddEdge(q, sh)
+			st := g.AddNode(dfg.OpStore, fmt.Sprintf("out%d_%d", r, c))
+			g.AddEdge(sh, st)
+		}
+	}
+	g.MustFreeze()
+	return g
+}
+
+// JPEGIDCTFast is the "fast" integer IDCT: rotations replaced by
+// shift-add approximations (shl + add/sub), giving a higher node count
+// with cheaper operations.
+func JPEGIDCTFast(scale float64) *dfg.Graph {
+	rows := scaleInt(8, scale, 1)
+	g := dfg.New("jpegidctfst")
+
+	shiftAddRotate := func(a, b int) (int, int) {
+		// Approximate rotation with shifts and adds: 6 ops.
+		sa := g.AddNode(dfg.OpShl, "")
+		g.AddEdge(a, sa)
+		sb := g.AddNode(dfg.OpShr, "")
+		g.AddEdge(b, sb)
+		s := g.AddNode(dfg.OpAdd, "")
+		g.AddEdge(sa, s)
+		g.AddEdge(b, s)
+		d := g.AddNode(dfg.OpSub, "")
+		g.AddEdge(sb, d)
+		g.AddEdge(a, d)
+		x := g.AddNode(dfg.OpAdd, "")
+		g.AddEdge(s, x)
+		g.AddEdge(sb, x)
+		y := g.AddNode(dfg.OpSub, "")
+		g.AddEdge(d, y)
+		g.AddEdge(sa, y)
+		return x, y
+	}
+	addSub := func(a, b int) (int, int) {
+		s := g.AddNode(dfg.OpAdd, "")
+		g.AddEdge(a, s)
+		g.AddEdge(b, s)
+		d := g.AddNode(dfg.OpSub, "")
+		g.AddEdge(a, d)
+		g.AddEdge(b, d)
+		return s, d
+	}
+
+	for r := 0; r < rows; r++ {
+		var in [8]int
+		for c := 0; c < 8; c++ {
+			in[c] = g.AddNode(dfg.OpLoad, fmt.Sprintf("in%d_%d", r, c))
+		}
+		s0, d0 := addSub(in[0], in[4])
+		s1, d1 := addSub(in[1], in[5])
+		s2, d2 := addSub(in[2], in[6])
+		s3, d3 := addSub(in[3], in[7])
+		r0, r1 := shiftAddRotate(s2, s3)
+		r2, r3 := shiftAddRotate(d0, d1)
+		r4, r5 := shiftAddRotate(d2, d3)
+		e0, e1 := addSub(s0, s1)
+		o0, o7 := addSub(e0, r0)
+		o1, o6 := addSub(e1, r2)
+		o2, o5 := addSub(r1, r4)
+		o3, o4 := addSub(r3, r5)
+		for c, v := range [8]int{o0, o1, o2, o3, o4, o5, o6, o7} {
+			sh := g.AddNode(dfg.OpShr, "")
+			g.AddEdge(v, sh)
+			st := g.AddNode(dfg.OpStore, fmt.Sprintf("out%d_%d", r, c))
+			g.AddEdge(sh, st)
+		}
+	}
+	g.MustFreeze()
+	return g
+}
+
+// InvertMat performs Gauss-Jordan inversion of an NxN matrix: per pivot
+// a reciprocal (div), a row scaling pass, and elimination updates for
+// every other row. The pivot reciprocal fans out to every multiply of
+// the step, matching the paper's high max-degree profile for invertmat.
+func InvertMat(scale float64) *dfg.Graph {
+	n := scaleInt(5, sqrtScale(scale), 2)
+	g := dfg.New("invertmat")
+
+	// Working matrix [A | I]: value ids of the current cells.
+	width := 2 * n
+	cells := make([][]int, n)
+	for i := 0; i < n; i++ {
+		cells[i] = make([]int, width)
+		for j := 0; j < n; j++ {
+			cells[i][j] = g.AddNode(dfg.OpLoad, fmt.Sprintf("a%d_%d", i, j))
+		}
+		for j := n; j < width; j++ {
+			cells[i][j] = g.AddNode(dfg.OpConst, fmt.Sprintf("i%d_%d", i, j-n))
+		}
+	}
+	for p := 0; p < n; p++ {
+		inv := g.AddNode(dfg.OpDiv, fmt.Sprintf("inv%d", p))
+		g.AddEdge(cells[p][p], inv)
+		// Scale the pivot row.
+		for j := 0; j < width; j++ {
+			if j == p {
+				cells[p][j] = inv
+				continue
+			}
+			m := g.AddNode(dfg.OpMul, "")
+			g.AddEdge(cells[p][j], m)
+			g.AddEdge(inv, m)
+			cells[p][j] = m
+		}
+		// Eliminate the pivot column from every other row.
+		for i := 0; i < n; i++ {
+			if i == p {
+				continue
+			}
+			factor := cells[i][p]
+			for j := 0; j < width; j++ {
+				if j == p {
+					continue
+				}
+				m := g.AddNode(dfg.OpMul, "")
+				g.AddEdge(factor, m)
+				g.AddEdge(cells[p][j], m)
+				s := g.AddNode(dfg.OpSub, "")
+				g.AddEdge(cells[i][j], s)
+				g.AddEdge(m, s)
+				cells[i][j] = s
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := n; j < width; j++ {
+			st := g.AddNode(dfg.OpStore, fmt.Sprintf("out%d_%d", i, j-n))
+			g.AddEdge(cells[i][j], st)
+		}
+	}
+	g.MustFreeze()
+	return g
+}

@@ -1,0 +1,166 @@
+package kernels
+
+import (
+	"testing"
+
+	"panorama/internal/dfg"
+)
+
+func TestAllKernelsBuildAndValidate(t *testing.T) {
+	for _, spec := range All() {
+		for _, scale := range []float64{0.15, 0.25, 0.5, 1.0} {
+			g := spec.Build(scale)
+			if g == nil {
+				t.Fatalf("%s(%v): nil graph", spec.Name, scale)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%s(%v): invalid: %v", spec.Name, scale, err)
+			}
+			if g.NumNodes() < 10 {
+				t.Fatalf("%s(%v): only %d nodes", spec.Name, scale, g.NumNodes())
+			}
+		}
+	}
+}
+
+func TestFullScaleNodeCountsNearPaper(t *testing.T) {
+	// Paper Table 1a node counts; we require the generators to land
+	// within 35% (the structures are synthesised, not extracted).
+	want := map[string]int{
+		"edn":           507,
+		"idctcols":      403,
+		"idctrows":      427,
+		"conv2d":        512,
+		"matchedfilter": 501,
+		"mmul":          503,
+		"cordic":        294,
+		"kmeans":        461,
+		"fir":           256,
+		"jpegfdct":      440,
+		"jpegidctfst":   486,
+		"invertmat":     389,
+	}
+	for _, spec := range All() {
+		g := spec.Build(1.0)
+		paper := want[spec.Name]
+		lo, hi := paper*65/100, paper*135/100
+		if g.NumNodes() < lo || g.NumNodes() > hi {
+			t.Errorf("%s: %d nodes, paper has %d (allowed [%d,%d])",
+				spec.Name, g.NumNodes(), paper, lo, hi)
+		}
+	}
+}
+
+func TestKernelsHaveMemoryBoundaries(t *testing.T) {
+	for _, spec := range All() {
+		g := spec.Build(0.5)
+		stats := g.ComputeStats()
+		if stats.MemOps == 0 {
+			t.Errorf("%s: no load/store operations", spec.Name)
+		}
+	}
+}
+
+func TestAccumulatorKernelsHaveRecurrences(t *testing.T) {
+	for _, name := range []string{"edn", "matchedfilter"} {
+		spec, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := spec.Build(0.5)
+		stats := g.ComputeStats()
+		if stats.BackEdges == 0 {
+			t.Errorf("%s: expected recurrence edges", name)
+		}
+		if stats.RecMII > 4 {
+			t.Errorf("%s: RecMII %d too high (accumulators must stay pipelineable)", name, stats.RecMII)
+		}
+	}
+}
+
+func TestKernelsAreDeterministic(t *testing.T) {
+	for _, spec := range All() {
+		a := spec.Build(0.3)
+		b := spec.Build(0.3)
+		if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+			t.Fatalf("%s: non-deterministic build", spec.Name)
+		}
+		for i := range a.Edges {
+			if a.Edges[i] != b.Edges[i] {
+				t.Fatalf("%s: edge %d differs across builds", spec.Name, i)
+			}
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName accepted unknown kernel")
+	}
+}
+
+func TestNamesOrder(t *testing.T) {
+	names := Names()
+	if len(names) != 12 || names[0] != "edn" || names[11] != "invertmat" {
+		t.Fatalf("Names() = %v", names)
+	}
+}
+
+func TestScaleShrinksKernels(t *testing.T) {
+	for _, spec := range All() {
+		big := spec.Build(1.0).NumNodes()
+		small := spec.Build(0.25).NumNodes()
+		if small >= big {
+			t.Errorf("%s: scale 0.25 (%d nodes) not smaller than 1.0 (%d)", spec.Name, small, big)
+		}
+	}
+}
+
+func TestHighFanoutKernels(t *testing.T) {
+	// conv2d and matchedfilter rely on shared constants with large
+	// fan-out (paper max degrees 36 and 75).
+	for _, name := range []string{"conv2d", "matchedfilter", "fir"} {
+		spec, _ := ByName(name)
+		g := spec.Build(1.0)
+		if g.MaxDegree() < 8 {
+			t.Errorf("%s: max degree %d, expected high fan-out", name, g.MaxDegree())
+		}
+	}
+}
+
+func TestReduceTreeShape(t *testing.T) {
+	g := dfg.New("t")
+	var ins []int
+	for i := 0; i < 7; i++ {
+		ins = append(ins, g.AddNode(dfg.OpConst, ""))
+	}
+	root := reduceTree(g, ins)
+	g.MustFreeze()
+	// 7 inputs need 6 adds.
+	adds := 0
+	for _, nd := range g.Nodes {
+		if nd.Op == dfg.OpAdd {
+			adds++
+		}
+	}
+	if adds != 6 {
+		t.Fatalf("reduceTree used %d adds for 7 inputs, want 6", adds)
+	}
+	if g.OutDeg(root) != 0 {
+		t.Fatal("root must be the sink")
+	}
+}
+
+func TestStatsTable(t *testing.T) {
+	// Smoke-check the stats the Table 1a harness prints.
+	for _, spec := range All() {
+		g := spec.Build(1.0)
+		s := g.ComputeStats()
+		if s.Edges <= s.Nodes/2 {
+			t.Errorf("%s: suspiciously few edges (%d edges, %d nodes)", spec.Name, s.Edges, s.Nodes)
+		}
+		if s.MaxDegree < 3 {
+			t.Errorf("%s: max degree %d", spec.Name, s.MaxDegree)
+		}
+	}
+}

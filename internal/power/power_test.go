@@ -1,0 +1,127 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func arch16() Arch { return Arch{PEs: 256, Clusters: 16} }
+func arch9() Arch  { return Arch{PEs: 81, Clusters: 9} }
+
+func TestPowerErrors(t *testing.T) {
+	m := Default40nm()
+	if _, err := m.Power(Arch{}, MappingStats{Ops: 1, II: 1}); err == nil {
+		t.Fatal("accepted empty arch")
+	}
+	if _, err := m.Power(arch16(), MappingStats{Ops: 1, II: 0}); err == nil {
+		t.Fatal("accepted II=0")
+	}
+	if _, err := m.Power(arch16(), MappingStats{Ops: -1, II: 1}); err == nil {
+		t.Fatal("accepted negative ops")
+	}
+}
+
+func TestPowerPositiveAndMonotoneInSize(t *testing.T) {
+	m := Default40nm()
+	s := MappingStats{Ops: 400, II: 2}
+	p16, err := m.Power(arch16(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p9, err := m.Power(arch9(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p16 <= 0 || p9 <= 0 {
+		t.Fatalf("non-positive power: %v %v", p9, p16)
+	}
+	if p16 <= p9 {
+		t.Fatalf("16x16 power (%v) must exceed 9x9 power (%v)", p16, p9)
+	}
+	// Power grows sub-quadratically with PE count: per-PE constants are
+	// linear, so the 256/81 ratio bounds the power ratio.
+	if p16/p9 > 256.0/81.0+0.5 {
+		t.Fatalf("power ratio %v implausibly superlinear", p16/p9)
+	}
+}
+
+func TestMOPS(t *testing.T) {
+	if got := MOPS(MappingStats{Ops: 400, II: 2}, 100); got != 20000 {
+		t.Fatalf("MOPS = %v, want 20000", got)
+	}
+	if MOPS(MappingStats{Ops: 400, II: 0}, 100) != 0 {
+		t.Fatal("II=0 must give 0 MOPS")
+	}
+}
+
+func TestEfficiencyImprovesWithLowerII(t *testing.T) {
+	m := Default40nm()
+	a := arch16()
+	e2, err := m.Efficiency(a, MappingStats{Ops: 430, II: 2}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e4, err := m.Efficiency(a, MappingStats{Ops: 430, II: 4}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 <= e4 {
+		t.Fatalf("lower II must be more efficient: II2=%v II4=%v", e2, e4)
+	}
+}
+
+// The Figure 8 headline: a 16x16 array running the paper's workloads at
+// its lower achievable II is more power-efficient than a 9x9 running
+// the same kernel at the II its smaller resource budget forces.
+func TestScalingUpImprovesEfficiency(t *testing.T) {
+	m := Default40nm()
+	ops := 430 // average paper kernel
+	// ResMII-driven IIs: 430/256 -> 2 on 16x16; 430/81 -> 6 on 9x9.
+	e16, err := m.Efficiency(arch16(), MappingStats{Ops: ops, II: 2}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e9, err := m.Efficiency(arch9(), MappingStats{Ops: ops, II: 6}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := e16/e9 - 1
+	if gain < 0.2 {
+		t.Fatalf("16x16 efficiency gain %.2f too small; paper reports ~68%%", gain)
+	}
+	if gain > 2.5 {
+		t.Fatalf("16x16 efficiency gain %.2f implausibly large", gain)
+	}
+}
+
+func TestActiveSlotsClamped(t *testing.T) {
+	m := Default40nm()
+	// Ops exceeding slot count must not produce negative idle power.
+	p, err := m.Power(Arch{PEs: 4, Clusters: 1}, MappingStats{Ops: 100, II: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 {
+		t.Fatalf("power = %v", p)
+	}
+}
+
+// Property: efficiency is always non-negative and finite for valid
+// inputs.
+func TestQuickEfficiencyDomain(t *testing.T) {
+	m := Default40nm()
+	f := func(opsRaw uint16, iiRaw, peRaw uint8) bool {
+		ops := int(opsRaw)
+		ii := int(iiRaw%30) + 1
+		pes := (int(peRaw%15) + 2)
+		pes = pes * pes
+		e, err := m.Efficiency(Arch{PEs: pes, Clusters: pes / 4}, MappingStats{Ops: ops, II: ii}, 100)
+		if err != nil {
+			return false
+		}
+		return e >= 0 && e < 1e9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

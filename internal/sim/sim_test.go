@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"panorama/internal/arch"
+	"panorama/internal/core"
+	"panorama/internal/dfg"
+	"panorama/internal/kernels"
+	"panorama/internal/spr"
+)
+
+func TestEvalSemantics(t *testing.T) {
+	cases := []struct {
+		op   dfg.Op
+		ops  []Value
+		want Value
+	}{
+		{dfg.OpAdd, []Value{2, 3, 4}, 9},
+		{dfg.OpSub, []Value{10, 4}, 6},
+		{dfg.OpSub, []Value{5}, -5},
+		{dfg.OpMul, []Value{3, 4}, 12},
+		{dfg.OpDiv, []Value{20, 5}, 4},
+		{dfg.OpDiv, []Value{20, 0}, 0},
+		{dfg.OpShl, []Value{3}, 6},
+		{dfg.OpShr, []Value{8}, 4},
+		{dfg.OpShl, []Value{1, 4}, 16},
+		{dfg.OpAnd, []Value{6, 3}, 2},
+		{dfg.OpOr, []Value{4, 1}, 5},
+		{dfg.OpXor, []Value{7, 2}, 5},
+		{dfg.OpCmp, []Value{5, 3}, 1},
+		{dfg.OpCmp, []Value{2, 3}, 0},
+		{dfg.OpSelect, []Value{1, 42, 7}, 42},
+		{dfg.OpSelect, []Value{0, 42, 7}, 7},
+		{dfg.OpStore, []Value{11}, 11},
+		{dfg.OpPhi, []Value{13, 99}, 13},
+	}
+	for _, c := range cases {
+		if got := eval(c.op, 0, 0, c.ops); got != c.want {
+			t.Errorf("eval(%v, %v) = %d, want %d", c.op, c.ops, got, c.want)
+		}
+	}
+}
+
+func TestInputsDeterministicAndDistinct(t *testing.T) {
+	if input(1, 2) != input(1, 2) {
+		t.Fatal("input not deterministic")
+	}
+	if input(1, 2) == input(1, 3) || input(1, 2) == input(2, 2) {
+		t.Fatal("inputs not distinct across node/iteration")
+	}
+	if constVal(3) == constVal(4) {
+		t.Fatal("constants not distinct")
+	}
+}
+
+// macDFG: y[i] = a*x[i] + y-1 accumulator with a store.
+func macDFG() *dfg.Graph {
+	g := dfg.New("mac")
+	x := g.AddNode(dfg.OpLoad, "x")
+	a := g.AddNode(dfg.OpConst, "a")
+	m := g.AddNode(dfg.OpMul, "")
+	g.AddEdge(x, m)
+	g.AddEdge(a, m)
+	acc := g.AddNode(dfg.OpAdd, "acc")
+	g.AddEdge(m, acc)
+	g.AddEdgeDist(acc, acc, 1)
+	st := g.AddNode(dfg.OpStore, "y")
+	g.AddEdge(acc, st)
+	g.MustFreeze()
+	return g
+}
+
+func TestReferenceAccumulates(t *testing.T) {
+	g := macDFG()
+	tr, err := Reference(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := tr.Stores[4]
+	if len(ys) != 3 {
+		t.Fatalf("store trace has %d entries", len(ys))
+	}
+	// Accumulator: y[i] = sum_{j<=i} a*x[j].
+	a := constVal(1)
+	var want Value
+	for i := 0; i < 3; i++ {
+		want += a * input(0, i)
+		if ys[i] != want {
+			t.Fatalf("iteration %d: got %d want %d", i, ys[i], want)
+		}
+	}
+}
+
+func TestReferenceErrors(t *testing.T) {
+	g := macDFG()
+	if _, err := Reference(g, 0); err == nil {
+		t.Fatal("accepted zero iterations")
+	}
+}
+
+func TestExecuteMatchesReferenceMAC(t *testing.T) {
+	g := macDFG()
+	a := arch.Preset4x4()
+	res, err := spr.Map(g, a, spr.Options{Seed: 1})
+	if err != nil || !res.Success {
+		t.Fatalf("map failed: %v", err)
+	}
+	if err := Verify(g, a, res.Mapping, 6); err != nil {
+		t.Fatalf("mapped execution diverges: %v", err)
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	g := macDFG()
+	a := arch.Preset4x4()
+	if _, err := Execute(g, a, nil, 3); err == nil {
+		t.Fatal("accepted nil mapping")
+	}
+	res, err := spr.Map(g, a, spr.Options{Seed: 1})
+	if err != nil || !res.Success {
+		t.Fatal("map failed")
+	}
+	if _, err := Execute(g, a, res.Mapping, 0); err == nil {
+		t.Fatal("accepted zero iterations")
+	}
+}
+
+func TestExecuteDetectsCorruptedRoute(t *testing.T) {
+	g := macDFG()
+	a := arch.Preset4x4()
+	res, err := spr.Map(g, a, spr.Options{Seed: 1})
+	if err != nil || !res.Success {
+		t.Fatal("map failed")
+	}
+	bad := *res.Mapping
+	bad.Routes = append([][]int32(nil), res.Mapping.Routes...)
+	bad.Routes[0] = bad.Routes[0][:1] // truncate: timing must break
+	if _, err := Execute(g, a, &bad, 3); err == nil {
+		t.Fatal("Execute accepted a truncated route")
+	}
+}
+
+func TestExecuteDetectsMisplacedOp(t *testing.T) {
+	g := macDFG()
+	a := arch.Preset4x4()
+	res, err := spr.Map(g, a, spr.Options{Seed: 1})
+	if err != nil || !res.Success {
+		t.Fatal("map failed")
+	}
+	bad := *res.Mapping
+	bad.PlaceT = append([]int(nil), res.Mapping.PlaceT...)
+	bad.PlaceT[3]++ // shift the accumulator's issue cycle
+	if _, err := Execute(g, a, &bad, 3); err == nil {
+		t.Fatal("Execute accepted a shifted schedule")
+	}
+}
+
+// The flagship test: every benchmark kernel, mapped both unguided and
+// with Panorama guidance, must execute cycle-accurately to the same
+// trace as the direct DFG interpretation.
+func TestMappedKernelsExecuteCorrectly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kernel simulation in -short mode")
+	}
+	a := arch.Preset8x8()
+	for _, name := range []string{"fir", "cordic", "mmul", "kmeans"} {
+		spec, err := kernels.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := spec.Build(0.2)
+		res, err := spr.Map(g, a, spr.Options{Seed: 1})
+		if err != nil || !res.Success {
+			t.Fatalf("%s: baseline map failed: %v", name, err)
+		}
+		if err := Verify(g, a, res.Mapping, 4); err != nil {
+			t.Errorf("%s baseline: %v", name, err)
+		}
+
+		pan, err := core.MapPanorama(g, a, core.SPRLower{Options: spr.Options{Seed: 1}},
+			core.Config{Seed: 1, RelaxOnFailure: true})
+		if err != nil || !pan.Lower.Success {
+			t.Fatalf("%s: panorama map failed: %v", name, err)
+		}
+		// Re-run the guided mapping to get the concrete Mapping (the
+		// core facade only exposes summary numbers).
+		allowed := core.AllowedClusters(g, a, pan.Partition, pan.ClusterMap)
+		if pan.Relaxed {
+			allowed = nil
+		}
+		guided, err := spr.Map(g, a, spr.Options{Seed: 1, AllowedClusters: allowed})
+		if err != nil || !guided.Success {
+			t.Fatalf("%s: guided remap failed: %v", name, err)
+		}
+		if err := Verify(g, a, guided.Mapping, 4); err != nil {
+			t.Errorf("%s guided: %v", name, err)
+		}
+	}
+}
+
+func TestTraceEqualReportsDifferences(t *testing.T) {
+	a := &Trace{Iterations: 2, Stores: map[int][]Value{1: {5, 6}}}
+	b := &Trace{Iterations: 2, Stores: map[int][]Value{1: {5, 7}}}
+	err := a.Equal(b)
+	if err == nil || !strings.Contains(err.Error(), "iteration 1") {
+		t.Fatalf("Equal missed the difference: %v", err)
+	}
+	c := &Trace{Iterations: 3, Stores: map[int][]Value{1: {5, 6}}}
+	if a.Equal(c) == nil {
+		t.Fatal("Equal missed iteration count difference")
+	}
+	d := &Trace{Iterations: 2, Stores: map[int][]Value{2: {5, 6}}}
+	if a.Equal(d) == nil {
+		t.Fatal("Equal missed store set difference")
+	}
+}

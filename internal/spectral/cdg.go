@@ -1,0 +1,107 @@
+package spectral
+
+import "panorama/internal/dfg"
+
+// CDG is the Cluster Dependency Graph (paper §3): one node per DFG
+// cluster; edge weights count the DFG dependencies between two
+// clusters.
+type CDG struct {
+	K        int
+	Sizes    []int // DFG nodes per cluster
+	MemSizes []int // memory operations (loads/stores) per cluster
+
+	// Weight[i][j] is the number of directed DFG edges from cluster i
+	// to cluster j (i != j). Undirected weight is Weight[i][j]+Weight[j][i].
+	Weight [][]int
+
+	// Members lists the DFG node ids of each cluster, ascending.
+	Members [][]int
+}
+
+// BuildCDG condenses the DFG under a partition.
+func BuildCDG(g *dfg.Graph, p *Partition) *CDG {
+	k := p.K
+	c := &CDG{
+		K:        k,
+		Sizes:    append([]int(nil), p.Sizes...),
+		MemSizes: make([]int, k),
+		Weight:   make([][]int, k),
+		Members:  make([][]int, k),
+	}
+	for i := range c.Weight {
+		c.Weight[i] = make([]int, k)
+	}
+	for v, cl := range p.Assign {
+		c.Members[cl] = append(c.Members[cl], v)
+		if g.Nodes[v].Op.IsMem() {
+			c.MemSizes[cl]++
+		}
+	}
+	for _, e := range g.Edges {
+		a, b := p.Assign[e.From], p.Assign[e.To]
+		if a != b {
+			c.Weight[a][b]++
+		}
+	}
+	return c
+}
+
+// UndirectedWeight returns the total DFG edge count between clusters i
+// and j regardless of direction.
+func (c *CDG) UndirectedWeight(i, j int) int {
+	return c.Weight[i][j] + c.Weight[j][i]
+}
+
+// TotalNodes returns the DFG node count.
+func (c *CDG) TotalNodes() int {
+	t := 0
+	for _, s := range c.Sizes {
+		t += s
+	}
+	return t
+}
+
+// TotalMem returns the memory-operation count; 0 when the CDG was built
+// without memory information.
+func (c *CDG) TotalMem() int {
+	t := 0
+	for _, s := range c.MemSizes {
+		t += s
+	}
+	return t
+}
+
+// MemSize returns the memory-operation count of cluster v, tolerating
+// CDGs built without memory information.
+func (c *CDG) MemSize(v int) int {
+	if c.MemSizes == nil {
+		return 0
+	}
+	return c.MemSizes[v]
+}
+
+// Neighbors returns the clusters adjacent to i (non-zero undirected
+// weight).
+func (c *CDG) Neighbors(i int) []int {
+	var out []int
+	for j := 0; j < c.K; j++ {
+		if j != i && c.UndirectedWeight(i, j) > 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Degree returns the number of clusters adjacent to i.
+func (c *CDG) Degree(i int) int { return len(c.Neighbors(i)) }
+
+// InterEdges returns the total number of inter-cluster DFG edges.
+func (c *CDG) InterEdges() int {
+	t := 0
+	for i := 0; i < c.K; i++ {
+		for j := 0; j < c.K; j++ {
+			t += c.Weight[i][j]
+		}
+	}
+	return t
+}

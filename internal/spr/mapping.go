@@ -1,0 +1,421 @@
+// Package spr implements the SPR* lower-level mapper of the paper
+// (Algorithm 2): iterative modulo scheduling with least-cost placement
+// on the MRRG, PathFinder negotiated-congestion routing, and a
+// simulated-annealing placement loop, escalating the II until a valid
+// mapping is found.
+//
+// When guided by Panorama, every DFG node's placement candidates are
+// restricted to the CGRA cluster(s) chosen by the higher-level cluster
+// mapping (Options.AllowedClusters), which both shrinks the search
+// space (faster compilation) and spreads the DFG over the fabric
+// (better routability).
+package spr
+
+import (
+	"fmt"
+
+	"panorama/internal/arch"
+	"panorama/internal/dfg"
+	"panorama/internal/mrrg"
+)
+
+// Options tunes the mapper.
+type Options struct {
+	// MaxII caps II escalation; 0 means MII + DefaultIISlack.
+	MaxII int
+	// AllowedClusters restricts each DFG node to the given CGRA cluster
+	// ids (Panorama guidance). nil, or a nil entry, means unrestricted.
+	AllowedClusters [][]int
+	// Seed drives the simulated-annealing RNG (deterministic per seed).
+	Seed int64
+
+	// RouterIters is the number of PathFinder iterations per routing
+	// call (default 12).
+	RouterIters int
+	// MaxDelta caps the elapsed cycles a single edge route may take;
+	// 0 means 3*II+4.
+	MaxDelta int
+
+	// Simulated annealing schedule (defaults: 20 / 0.5 / 0.85).
+	SAInitTemp float64
+	SAMinTemp  float64
+	SACooling  float64
+	// SAMovesPerTemp is the move budget per temperature step
+	// (default max(16, |V|/3)).
+	SAMovesPerTemp int
+
+	// placementJitter adds uniform noise to placement costs so that
+	// same-II restarts explore different initial placements. Set
+	// internally by the restart loop.
+	placementJitter float64
+}
+
+// DefaultIISlack is how far past MII the mapper escalates by default.
+const DefaultIISlack = 8
+
+func (o *Options) defaults(numNodes int) {
+	if o.RouterIters <= 0 {
+		o.RouterIters = 12
+	}
+	if o.SAInitTemp <= 0 {
+		o.SAInitTemp = 20
+	}
+	if o.SAMinTemp <= 0 {
+		o.SAMinTemp = 0.5
+	}
+	if o.SACooling <= 0 || o.SACooling >= 1 {
+		o.SACooling = 0.85
+	}
+	if o.SAMovesPerTemp <= 0 {
+		o.SAMovesPerTemp = maxInt(16, numNodes/3)
+	}
+}
+
+// Mapping is a complete placement and routing of a DFG at one II.
+type Mapping struct {
+	II      int
+	PlacePE []int     // DFG node -> PE id
+	PlaceT  []int     // DFG node -> absolute schedule cycle
+	Routes  [][]int32 // DFG edge index -> MRRG node path (source OUT .. consumer FU)
+}
+
+// AttemptStats records one II attempt.
+type AttemptStats struct {
+	II           int
+	Placed       bool // initial placement succeeded
+	FinalOveruse int
+	SASteps      int
+	FailReason   string // why initial placement failed (when !Placed)
+}
+
+// Result is the outcome of Map.
+type Result struct {
+	Success  bool
+	MII      int // max(ResMII, RecMII) lower bound
+	II       int // achieved II (valid when Success)
+	Mapping  *Mapping
+	Attempts []AttemptStats
+}
+
+// QoM returns the paper's Quality of Mapping metric MII/II (1.0 is
+// optimal); 0 when the mapping failed.
+func (r *Result) QoM() float64 {
+	if !r.Success || r.II == 0 {
+		return 0
+	}
+	return float64(r.MII) / float64(r.II)
+}
+
+// Map runs Algorithm 2: for each II from MII upward, build the MRRG,
+// place, route with PathFinder, and repair with simulated annealing;
+// stop at the first II that routes without resource overuse.
+func Map(d *dfg.Graph, a *arch.CGRA, opts Options) (*Result, error) {
+	if err := d.Freeze(); err != nil {
+		return nil, err
+	}
+	if opts.AllowedClusters != nil && len(opts.AllowedClusters) != d.NumNodes() {
+		return nil, fmt.Errorf("spr: AllowedClusters has %d entries for %d nodes",
+			len(opts.AllowedClusters), d.NumNodes())
+	}
+	opts.defaults(d.NumNodes())
+
+	mii := a.MII(d)
+	maxII := opts.MaxII
+	if maxII <= 0 {
+		maxII = mii + DefaultIISlack
+	}
+	res := &Result{MII: mii}
+
+	// Under cluster guidance the per-cluster resource bound can exceed
+	// the global MII (a cluster hosting L ops has only |PEs|*II FU
+	// slots); starting there skips provably infeasible IIs. QoM is
+	// still reported against the global MII, like the paper.
+	startII := mii
+	if opts.AllowedClusters != nil {
+		if c := clusterMII(d, a, opts.AllowedClusters); c > startII {
+			startII = c
+		}
+	}
+	if startII > mii+64 {
+		// The restriction is unsatisfiable (e.g. memory ops pinned to a
+		// memory-less cluster); report failure so callers can relax.
+		return res, nil
+	}
+	if opts.MaxII <= 0 && maxII < startII+2 {
+		maxII = startII + 2
+	}
+
+	for ii := startII; ii <= maxII; ii++ {
+		// A near-miss (a few conflicts left) earns fresh restarts with a
+		// different annealing trajectory before the II escalates.
+		const maxRestarts = 3
+		for restart := 0; restart < maxRestarts; restart++ {
+			att, st, err := attemptII(d, a, ii, restart, &opts)
+			if err != nil {
+				return nil, err
+			}
+			res.Attempts = append(res.Attempts, att)
+			if st != nil && st.badness() == 0 {
+				m := st.extractMapping()
+				if err := Validate(d, a, m, opts.AllowedClusters); err != nil {
+					return nil, fmt.Errorf("spr: internal error, invalid mapping at II=%d: %w", ii, err)
+				}
+				res.Success = true
+				res.II = ii
+				res.Mapping = m
+				return res, nil
+			}
+			if st == nil {
+				if restart == 0 {
+					break // placement infeasible; escalate the II
+				}
+				continue // jittered restart failed to place; try another
+			}
+			if att.FinalOveruse > 4 {
+				break // not close; escalate the II instead
+			}
+		}
+	}
+	return res, nil
+}
+
+// attemptII runs one place/route/anneal attempt at a fixed II. The
+// returned state is nil when initial placement failed.
+func attemptII(d *dfg.Graph, a *arch.CGRA, ii, restart int, opts *Options) (AttemptStats, *state, error) {
+	seeded := *opts
+	seeded.Seed = opts.Seed + int64(restart)*7907
+	seeded.placementJitter = 0.4 * float64(restart)
+	st, err := newState(d, a, ii, &seeded)
+	if err != nil {
+		return AttemptStats{}, nil, err
+	}
+	att := AttemptStats{II: ii}
+	if !st.initialPlacement() {
+		att.FailReason = st.failReason
+		return att, nil, nil
+	}
+	att.Placed = true
+	st.buildSignals()
+	st.routeAll()
+
+	// A mapping drowning in congestion after full negotiation will not
+	// be rescued by annealing; escalate the II instead of boiling the
+	// ocean (SPR's behaviour here is what made its compile times
+	// explode — see Table 1b).
+	if st.badness() > maxInt(12, d.NumNodes()/4) {
+		att.FinalOveruse = st.badness()
+		return att, st, nil
+	}
+
+	temp := seeded.SAInitTemp
+	stagnant, bestBad := 0, st.badness()
+	for st.badness() > 0 && temp > seeded.SAMinTemp {
+		att.SASteps += st.saRound(temp)
+		st.pathFinderIterations(3)
+		temp *= seeded.SACooling
+		if b := st.badness(); b < bestBad {
+			bestBad, stagnant = b, 0
+		} else if stagnant++; stagnant >= 8 {
+			break // this II is stuck; escalate instead of boiling
+		}
+	}
+	// Endgame: a handful of residual conflicts often yields to a long
+	// negotiation round even when annealing has stagnated.
+	if b := st.badness(); b > 0 && b <= 12 {
+		st.pathFinderIterations(40)
+	}
+	if debugOveruse && st.badness() > 0 {
+		st.dumpOveruse()
+	}
+	att.FinalOveruse = st.badness()
+	return att, st, nil
+}
+
+// clusterMII returns the tightest per-cluster resource lower bound on
+// II implied by a cluster restriction: every node pinned to a single
+// cluster needs an FU slot there (memory ops a memory-capable one).
+// Nodes allowed several clusters are charged to none (conservative).
+func clusterMII(d *dfg.Graph, a *arch.CGRA, allowed [][]int) int {
+	load := make([]int, a.NumClusters())
+	memLoad := make([]int, a.NumClusters())
+	for v, cids := range allowed {
+		if len(cids) != 1 {
+			continue
+		}
+		load[cids[0]]++
+		if d.Nodes[v].Op.IsMem() {
+			memLoad[cids[0]]++
+		}
+	}
+	bound := 1
+	for cid := 0; cid < a.NumClusters(); cid++ {
+		pes := len(a.PEsInCluster(cid))
+		mems := 0
+		for _, pe := range a.PEsInCluster(cid) {
+			if a.PEs[pe].MemCapable {
+				mems++
+			}
+		}
+		if pes > 0 {
+			if b := (load[cid] + pes - 1) / pes; b > bound {
+				bound = b
+			}
+		}
+		if mems > 0 {
+			if b := (memLoad[cid] + mems - 1) / mems; b > bound {
+				bound = b
+			}
+		} else if memLoad[cid] > 0 {
+			// No memory PE in the allowed cluster: unmappable here; the
+			// caller's relaxation path deals with it.
+			return 1 << 20
+		}
+	}
+	return bound
+}
+
+// Validate checks that a mapping is structurally and temporally valid:
+// one op per FU slot, memory ops on memory PEs, cluster restrictions
+// respected, every route a real MRRG path with the exact elapsed time
+// the schedule demands, and no resource used beyond its capacity
+// (counting each value once per resource).
+func Validate(d *dfg.Graph, a *arch.CGRA, m *Mapping, allowedClusters [][]int) error {
+	if m == nil {
+		return fmt.Errorf("nil mapping")
+	}
+	g, err := mrrg.New(a, m.II)
+	if err != nil {
+		return err
+	}
+	n := d.NumNodes()
+	if len(m.PlacePE) != n || len(m.PlaceT) != n {
+		return fmt.Errorf("placement arrays have wrong length")
+	}
+	// One-to-one FU usage; op legality.
+	fuSeen := make(map[int]int)
+	for v := 0; v < n; v++ {
+		pe, t := m.PlacePE[v], m.PlaceT[v]
+		if pe < 0 || pe >= a.NumPEs() {
+			return fmt.Errorf("node %d on invalid PE %d", v, pe)
+		}
+		if t < 0 {
+			return fmt.Errorf("node %d scheduled at negative time %d", v, t)
+		}
+		if d.Nodes[v].Op.IsMem() && !a.PEs[pe].MemCapable {
+			return fmt.Errorf("memory op %d placed on non-memory PE %d", v, pe)
+		}
+		if allowedClusters != nil && allowedClusters[v] != nil {
+			ok := false
+			for _, c := range allowedClusters[v] {
+				if a.ClusterOf(pe) == c {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("node %d on PE %d violates cluster restriction", v, pe)
+			}
+		}
+		fu := g.FUNode(pe, t)
+		if prev, dup := fuSeen[fu]; dup {
+			return fmt.Errorf("nodes %d and %d share FU slot %s", prev, v, g.Describe(fu))
+		}
+		fuSeen[fu] = v
+	}
+
+	if len(m.Routes) != d.NumEdges() {
+		return fmt.Errorf("route count %d != edge count %d", len(m.Routes), d.NumEdges())
+	}
+	// usage[node] counts the distinct value streams occupying the node:
+	// one per (producing node, elapsed phase). Two routes of one value
+	// share a resource for free only at the same phase; at different
+	// phases the resource would carry two iterations' values at once.
+	usage := make(map[int]map[[2]int]bool) // mrrg node -> set of (source, elapsed)
+	claim := func(node, srcVal, elapsed int) {
+		set := usage[node]
+		if set == nil {
+			set = make(map[[2]int]bool)
+			usage[node] = set
+		}
+		set[[2]int{srcVal, elapsed}] = true
+	}
+	for ei, e := range d.Edges {
+		route := m.Routes[ei]
+		if len(route) == 0 {
+			return fmt.Errorf("edge %d->%d has no route", e.From, e.To)
+		}
+		src, dst := e.From, e.To
+		lat := d.Nodes[src].Op.Latency()
+		ta := m.PlaceT[src] + lat
+		wantDelta := m.PlaceT[dst] + e.Dist*m.II - ta
+		if wantDelta < 0 {
+			return fmt.Errorf("edge %d->%d has negative slack %d", src, dst, wantDelta)
+		}
+		if int(route[0]) != g.ResNode(m.PlacePE[src], ta) {
+			return fmt.Errorf("edge %d->%d route starts at %s, want %s",
+				src, dst, g.Describe(int(route[0])), g.Describe(g.ResNode(m.PlacePE[src], ta)))
+		}
+		last := int(route[len(route)-1])
+		if last != g.FUNode(m.PlacePE[dst], m.PlaceT[dst]) {
+			return fmt.Errorf("edge %d->%d route ends at %s, want consumer FU", src, dst, g.Describe(last))
+		}
+		// No node may repeat: a repeat means the value holds a resource
+		// across a full II wrap and would collide with its own next
+		// iteration (verified dynamically by internal/sim).
+		dup := make(map[int32]bool, len(route))
+		for _, n := range route {
+			if dup[n] {
+				return fmt.Errorf("edge %d->%d route revisits %s (modulo wrap)", src, dst, g.Describe(int(n)))
+			}
+			dup[n] = true
+		}
+		elapsed := 0
+		claim(int(route[0]), src, 0)
+		for i := 0; i+1 < len(route); i++ {
+			from, to := int(route[i]), int(route[i+1])
+			var edge *mrrg.Edge
+			for j := range g.Succ[from] {
+				if int(g.Succ[from][j].To) == to {
+					edge = &g.Succ[from][j]
+					break
+				}
+			}
+			if edge == nil {
+				return fmt.Errorf("edge %d->%d route uses non-existent MRRG edge %s -> %s",
+					src, dst, g.Describe(from), g.Describe(to))
+			}
+			if edge.Adv {
+				elapsed++
+			}
+			if g.Kinds[to] != mrrg.KindFU { // consumer FU input is not a shared resource
+				claim(to, src, elapsed)
+			}
+		}
+		if elapsed != wantDelta {
+			return fmt.Errorf("edge %d->%d route takes %d cycles, schedule needs %d", src, dst, elapsed, wantDelta)
+		}
+	}
+	for node, vals := range usage {
+		if g.Kinds[node] == mrrg.KindFU {
+			continue
+		}
+		if len(vals) > int(g.Cap[node]) {
+			return fmt.Errorf("resource %s carries %d values, capacity %d", g.Describe(node), len(vals), g.Cap[node])
+		}
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,86 @@
+package spr
+
+import (
+	"strings"
+	"testing"
+
+	"panorama/internal/arch"
+	"panorama/internal/dfg"
+)
+
+func TestAnalyzeBasics(t *testing.T) {
+	g := dfg.New("t")
+	ld := g.AddNode(dfg.OpLoad, "")
+	ml := g.AddNode(dfg.OpMul, "")
+	st := g.AddNode(dfg.OpStore, "")
+	g.AddEdge(ld, ml)
+	g.AddEdge(ml, st)
+	g.MustFreeze()
+	a := arch.Preset4x4()
+	res, err := Map(g, a, Options{Seed: 1})
+	if err != nil || !res.Success {
+		t.Fatalf("map failed: %v", err)
+	}
+	r, err := Analyze(g, a, res.Mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Edges != 2 {
+		t.Fatalf("edges = %d", r.Edges)
+	}
+	if r.FUUtil <= 0 || r.FUUtil > 1 {
+		t.Fatalf("FU util = %v", r.FUUtil)
+	}
+	if r.AvgRouteCycles < 0 {
+		t.Fatalf("avg route cycles = %v", r.AvgRouteCycles)
+	}
+	out := r.String()
+	if !strings.Contains(out, "utilisation") || !strings.Contains(out, "routes") {
+		t.Fatalf("report rendering incomplete: %q", out)
+	}
+}
+
+func TestAnalyzeRejectsInvalid(t *testing.T) {
+	g := dfg.New("t")
+	x := g.AddNode(dfg.OpAdd, "")
+	y := g.AddNode(dfg.OpAdd, "")
+	g.AddEdge(x, y)
+	g.MustFreeze()
+	a := arch.Preset4x4()
+	res, err := Map(g, a, Options{Seed: 1})
+	if err != nil || !res.Success {
+		t.Fatal("map failed")
+	}
+	bad := *res.Mapping
+	bad.PlaceT = append([]int(nil), bad.PlaceT...)
+	bad.PlaceT[1] = -1
+	if _, err := Analyze(g, a, &bad); err == nil {
+		t.Fatal("Analyze accepted an invalid mapping")
+	}
+}
+
+func TestAnalyzeCountsHops(t *testing.T) {
+	// Pin producer and consumer to distant clusters so the route has
+	// real hops.
+	g := dfg.New("t")
+	x := g.AddNode(dfg.OpAdd, "")
+	y := g.AddNode(dfg.OpAdd, "")
+	g.AddEdge(x, y)
+	g.MustFreeze()
+	a := arch.Preset8x8()
+	allowed := [][]int{{0}, {15}} // opposite corners of the cluster grid
+	res, err := Map(g, a, Options{Seed: 1, AllowedClusters: allowed})
+	if err != nil || !res.Success {
+		t.Fatalf("map failed: %v", err)
+	}
+	r, err := Analyze(g, a, res.Mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalHops < 6 {
+		t.Fatalf("corner-to-corner route has only %d hops", r.TotalHops)
+	}
+	if r.MaxHops != r.TotalHops {
+		t.Fatalf("single edge: max %d != total %d", r.MaxHops, r.TotalHops)
+	}
+}

@@ -1,0 +1,397 @@
+package spr
+
+import (
+	"math"
+
+	"panorama/internal/mrrg"
+)
+
+// pqueue is a binary min-heap of (cost, state) pairs.
+type pqueue struct {
+	cost []float64
+	id   []int32
+}
+
+func (q *pqueue) reset() { q.cost = q.cost[:0]; q.id = q.id[:0] }
+
+func (q *pqueue) push(c float64, s int32) {
+	q.cost = append(q.cost, c)
+	q.id = append(q.id, s)
+	i := len(q.cost) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q.cost[p] <= q.cost[i] {
+			break
+		}
+		q.cost[p], q.cost[i] = q.cost[i], q.cost[p]
+		q.id[p], q.id[i] = q.id[i], q.id[p]
+		i = p
+	}
+}
+
+func (q *pqueue) pop() (float64, int32) {
+	c, s := q.cost[0], q.id[0]
+	last := len(q.cost) - 1
+	q.cost[0], q.id[0] = q.cost[last], q.id[last]
+	q.cost, q.id = q.cost[:last], q.id[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(q.cost) && q.cost[l] < q.cost[small] {
+			small = l
+		}
+		if r < len(q.cost) && q.cost[r] < q.cost[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q.cost[i], q.cost[small] = q.cost[small], q.cost[i]
+		q.id[i], q.id[small] = q.id[small], q.id[i]
+		i = small
+	}
+	return c, s
+}
+
+func (q *pqueue) empty() bool { return len(q.cost) == 0 }
+
+// claimNode records one more value on an MRRG node, updating overuse.
+func (st *state) claimNode(node int32) {
+	st.usage[node]++
+	if int(st.usage[node]) > int(st.g.Cap[node]) {
+		st.totalOveruse++
+	}
+}
+
+// releaseNode removes a value from an MRRG node.
+func (st *state) releaseNode(node int32) {
+	if int(st.usage[node]) > int(st.g.Cap[node]) {
+		st.totalOveruse--
+	}
+	st.usage[node]--
+}
+
+// occKey identifies one phase of a signal's occupation of a node: two
+// sink routes of the same signal may share a resource for free only
+// when they pass it at the same elapsed time — at different phases the
+// wire would have to carry two different iterations' values in the
+// same cycle.
+func occKey(node int32, elapsed int) int64 {
+	return int64(node)<<16 | int64(elapsed)
+}
+
+// walkElapsed visits every node of a route with its elapsed time.
+func (st *state) walkElapsed(route []int32, visit func(node int32, elapsed int)) {
+	if len(route) == 0 {
+		return
+	}
+	elapsed := 0
+	visit(route[0], 0)
+	for i := 0; i+1 < len(route); i++ {
+		from, to := route[i], route[i+1]
+		for j := range st.g.Succ[from] {
+			if st.g.Succ[from][j].To == to {
+				if st.g.Succ[from][j].Adv {
+					elapsed++
+				}
+				break
+			}
+		}
+		visit(to, elapsed)
+	}
+}
+
+// claimRoute registers a freshly routed path for sig's sink i.
+func (st *state) claimRoute(sig *signal, i int, route []int32) {
+	sig.routes[i] = route
+	st.walkElapsed(route, func(n int32, elapsed int) {
+		if st.g.Kinds[n] == mrrg.KindFU {
+			return // consumer FU input: placement resource, not routing
+		}
+		k := occKey(n, elapsed)
+		if sig.occ[k] == 0 {
+			st.claimNode(n)
+		}
+		sig.occ[k]++
+	})
+}
+
+// ripupSink releases the path of sig's sink i.
+func (st *state) ripupSink(sig *signal, i int) {
+	route := sig.routes[i]
+	if route == nil {
+		return
+	}
+	st.walkElapsed(route, func(n int32, elapsed int) {
+		if st.g.Kinds[n] == mrrg.KindFU {
+			return
+		}
+		k := occKey(n, elapsed)
+		sig.occ[k]--
+		if sig.occ[k] == 0 {
+			st.releaseNode(n)
+			delete(sig.occ, k)
+		}
+	})
+	sig.routes[i] = nil
+}
+
+// ripupSignal releases every route of the signal.
+func (st *state) ripupSignal(sig *signal) {
+	for i := range sig.routes {
+		if sig.routes[i] != nil {
+			st.ripupSink(sig, i)
+		} else {
+			// an unrouted sink is accounted in st.unrouted
+		}
+	}
+}
+
+// nodeCost is the PathFinder negotiated-congestion cost of letting sig
+// newly occupy node n at the given elapsed phase.
+func (st *state) nodeCost(sig *signal, n int32, elapsed int) float64 {
+	// Fast path: most signals have a single sink, so during their own
+	// reroute the occupancy set is empty and the map lookup is waste.
+	if len(sig.occ) != 0 && sig.occ[occKey(n, elapsed)] > 0 {
+		return 0.01 // the signal already owns this phase: sharing is free
+	}
+	over := float64(int(st.usage[n]) + 1 - int(st.g.Cap[n]))
+	if over < 0 {
+		over = 0
+	}
+	return (1 + st.hist[n]) * (1 + st.presFac*over)
+}
+
+// routeSink finds a path for sig's sink i: from the producer's result
+// register at its availability slot to the consumer's FU node, taking
+// exactly delta cycles. Returns false when no physically valid path
+// exists in the MRRG.
+//
+// A candidate path that revisits an MRRG node has wrapped the modulo
+// schedule (the value would hold one resource for more than II cycles
+// and collide with its own next iteration); the offending node gets a
+// temporary penalty and the search repeats, steering long waits into
+// split parks across several registers.
+func (st *state) routeSink(sig *signal, i int) bool {
+	var wrapPenalty map[int32]float64
+	for try := 0; try < 6; try++ {
+		route, ok := st.searchSink(sig, i, wrapPenalty)
+		if !ok {
+			return false
+		}
+		if dup := firstRevisit(route); dup >= 0 {
+			if wrapPenalty == nil {
+				wrapPenalty = make(map[int32]float64)
+			}
+			wrapPenalty[route[dup]] += 6
+			continue
+		}
+		st.claimRoute(sig, i, route)
+		return true
+	}
+	return false
+}
+
+// firstRevisit returns the index of the first repeated node in the
+// route, or -1.
+func firstRevisit(route []int32) int {
+	seen := make(map[int32]bool, len(route))
+	for i, n := range route {
+		if seen[n] {
+			return i
+		}
+		seen[n] = true
+	}
+	return -1
+}
+
+// searchSink runs the elapsed-exact Dijkstra for one sink and returns
+// the cheapest path without claiming it.
+func (st *state) searchSink(sig *signal, i int, wrapPenalty map[int32]float64) ([]int32, bool) {
+	s := sig.sinks[i]
+	if s.delta < 0 || s.delta > st.maxDelta {
+		return nil, false
+	}
+	lat := st.d.Nodes[sig.src].Op.Latency()
+	srcPE := st.placePE[sig.src]
+	start := int32(st.g.ResNode(srcPE, st.placeT[sig.src]+lat))
+	target := int32(st.g.FUNode(st.placePE[s.consumer], st.placeT[s.consumer]))
+
+	// Does the signal prefer the express inter-cluster links? The paper
+	// prioritises inter-cluster DFG edges and back edges for them.
+	prefer := st.d.Edges[s.edge].Dist > 0 ||
+		st.a.ClusterOf(srcPE) != st.a.ClusterOf(st.placePE[s.consumer])
+
+	width := st.maxDelta + 1
+	st.cur++
+	st.pq.reset()
+
+	startState := start*int32(width) + 0
+	st.dist[startState] = st.nodeCost(sig, start, 0)
+	st.prev[startState] = -1
+	st.stamp[startState] = st.cur
+	st.pq.push(st.dist[startState], startState)
+
+	targetState := target*int32(width) + int32(s.delta)
+
+	for !st.pq.empty() {
+		c, cs := st.pq.pop()
+		if st.stamp[cs] == -st.cur { // already settled (negated stamp)
+			continue
+		}
+		if c > st.dist[cs] {
+			continue
+		}
+		st.stamp[cs] = -st.cur
+		if cs == targetState {
+			break
+		}
+		node := cs / int32(width)
+		elapsed := int(cs % int32(width))
+		for _, e := range st.g.Succ[node] {
+			ne := elapsed
+			if e.Adv {
+				ne++
+				if ne > s.delta {
+					continue
+				}
+			}
+			if st.g.Kinds[e.To] == mrrg.KindFU {
+				// FU nodes are route sinks only.
+				if e.To != target || ne != s.delta {
+					continue
+				}
+			}
+			step := st.nodeCost(sig, e.To, ne)
+			if wrapPenalty != nil {
+				step += wrapPenalty[e.To]
+			}
+			if e.Express {
+				if prefer {
+					step *= 0.5
+				} else {
+					step *= 1.6
+				}
+			}
+			if st.g.Kinds[e.To] == mrrg.KindFU {
+				step = 0 // input pin, not a shared resource
+			}
+			ns := e.To*int32(width) + int32(ne)
+			nc := c + step
+			if st.stamp[ns] == -st.cur {
+				continue
+			}
+			if st.stamp[ns] != st.cur || nc < st.dist[ns] {
+				st.dist[ns] = nc
+				st.prev[ns] = cs
+				st.stamp[ns] = st.cur
+				st.pq.push(nc, ns)
+			}
+		}
+	}
+	if st.stamp[targetState] != -st.cur {
+		return nil, false
+	}
+	// Reconstruct.
+	var route []int32
+	for cs := targetState; cs != -1; cs = st.prev[cs] {
+		route = append(route, cs/int32(width))
+		if st.prev[cs] == -1 {
+			break
+		}
+	}
+	// reverse
+	for a, b := 0, len(route)-1; a < b; a, b = a+1, b-1 {
+		route[a], route[b] = route[b], route[a]
+	}
+	return route, true
+}
+
+// routeSignal rips up and reroutes every sink of the signal. Unrouted
+// sinks are tracked in st.unrouted.
+func (st *state) routeSignal(sig *signal) {
+	for i := range sig.sinks {
+		if sig.routes[i] != nil {
+			st.ripupSink(sig, i)
+		} else {
+			st.unrouted--
+		}
+		if !st.routeSink(sig, i) {
+			st.unrouted++
+		}
+	}
+}
+
+// routeAll routes every signal from scratch and then runs the
+// negotiation iterations.
+func (st *state) routeAll() {
+	// Reset routing state.
+	for i := range st.usage {
+		st.usage[i] = 0
+		st.hist[i] = 0
+	}
+	st.totalOveruse = 0
+	st.unrouted = 0
+	st.presFac = 1.5
+	for _, sig := range st.signals {
+		for i := range sig.routes {
+			sig.routes[i] = nil
+		}
+		for n := range sig.occ {
+			delete(sig.occ, n)
+		}
+	}
+	for _, sig := range st.signals {
+		for i := range sig.sinks {
+			if !st.routeSink(sig, i) {
+				st.unrouted++
+			}
+		}
+	}
+	st.pathFinderIterations(st.opts.RouterIters)
+}
+
+// pathFinderIterations runs up to k negotiation rounds: bump history on
+// overused nodes, then rip up and reroute only the signals touching
+// them (plus any unrouted sinks).
+func (st *state) pathFinderIterations(k int) {
+	for iter := 0; iter < k; iter++ {
+		if st.badness() == 0 {
+			return
+		}
+		st.presFac = math.Min(st.presFac*1.4, 64)
+		for n := range st.usage {
+			if int(st.usage[n]) > int(st.g.Cap[n]) {
+				st.hist[n] += 0.5 * float64(int(st.usage[n])-int(st.g.Cap[n]))
+			}
+		}
+		for _, sig := range st.signals {
+			needs := false
+			for i := range sig.sinks {
+				if sig.routes[i] == nil {
+					needs = true
+					break
+				}
+			}
+			if !needs {
+				for k := range sig.occ {
+					n := int32(k >> 16)
+					if int(st.usage[n]) > int(st.g.Cap[n]) {
+						needs = true
+						break
+					}
+				}
+			}
+			if needs {
+				st.routeSignal(sig)
+			}
+		}
+	}
+}
+
+// badness is the combined infeasibility measure: resource overuse plus
+// a large penalty per unroutable sink.
+func (st *state) badness() int {
+	return st.totalOveruse + 100*st.unrouted
+}

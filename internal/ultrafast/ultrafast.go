@@ -1,0 +1,350 @@
+// Package ultrafast implements the UltraFast* lower-level mapper: a
+// model of the DAC'21 Ultra-Fast scheduler for HyCUBE-style CGRAs. Its
+// defining simplifications (paper §4, "Comparison with Architecture
+// Specific Compiler") are kept:
+//
+//   - single-cycle multi-hop interconnect: a value can cross any number
+//     of hops inside one cycle, so the 3-D mapping problem collapses to
+//     2-D (which PE, which modulo slot);
+//   - unlimited registers per PE: values park for free until consumed;
+//   - greedy first-fit placement: nodes take the first feasible PE in
+//     index order, which packs operations into a corner of the array
+//     and congests the crossbars — the failure mode Panorama's
+//     distribution repairs.
+//
+// The only physical resource the model charges is per-cycle crossbar
+// bandwidth: every PE a transfer passes through (including the
+// producer) spends one of CrossbarCap forwarding slots in the transfer
+// cycle.
+package ultrafast
+
+import (
+	"fmt"
+
+	"panorama/internal/arch"
+	"panorama/internal/dfg"
+)
+
+// Options tunes the mapper.
+type Options struct {
+	// MaxII caps II escalation; 0 means MII + DefaultIISlack.
+	MaxII int
+	// AllowedClusters restricts each DFG node to the given CGRA
+	// clusters (Panorama guidance); nil = unrestricted.
+	AllowedClusters [][]int
+	// CrossbarCap is the per-PE per-cycle forwarding capacity
+	// (default 4: the four mesh output ports of a HyCUBE PE).
+	CrossbarCap int
+}
+
+// DefaultIISlack is how far past MII the mapper escalates by default.
+// UltraFast's greedy placement needs more headroom than SPR*.
+const DefaultIISlack = 40
+
+// Mapping is the 2-D placement result (no explicit routes: the
+// single-cycle multi-hop assumption reduces routing to the bandwidth
+// accounting checked during placement).
+type Mapping struct {
+	II      int
+	PlacePE []int
+	PlaceT  []int
+}
+
+// Result is the outcome of Map.
+type Result struct {
+	Success bool
+	MII     int
+	II      int
+	Mapping *Mapping
+}
+
+// QoM returns MII/II (0 when failed).
+func (r *Result) QoM() float64 {
+	if !r.Success || r.II == 0 {
+		return 0
+	}
+	return float64(r.MII) / float64(r.II)
+}
+
+// Map greedily modulo-schedules the DFG, escalating II until the
+// first-fit placement succeeds.
+func Map(d *dfg.Graph, a *arch.CGRA, opts Options) (*Result, error) {
+	if err := d.Freeze(); err != nil {
+		return nil, err
+	}
+	if opts.AllowedClusters != nil && len(opts.AllowedClusters) != d.NumNodes() {
+		return nil, fmt.Errorf("ultrafast: AllowedClusters has %d entries for %d nodes",
+			len(opts.AllowedClusters), d.NumNodes())
+	}
+	if opts.CrossbarCap <= 0 {
+		opts.CrossbarCap = 4
+	}
+	mii := a.MII(d)
+	maxII := opts.MaxII
+	if maxII <= 0 {
+		maxII = mii + DefaultIISlack
+	}
+	res := &Result{MII: mii}
+	for ii := mii; ii <= maxII; ii++ {
+		if m, ok := attempt(d, a, ii, &opts); ok {
+			res.Success = true
+			res.II = ii
+			res.Mapping = m
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+type ufState struct {
+	d    *dfg.Graph
+	a    *arch.CGRA
+	ii   int
+	opts *Options
+
+	placePE []int
+	placeT  []int
+	fuBusy  []bool // (pe*ii + slot)
+	xbarUse []int  // (pe*ii + slot) forwarding slots spent
+	cands   [][]int
+	inIdx   [][]int
+	outIdx  [][]int
+}
+
+func attempt(d *dfg.Graph, a *arch.CGRA, ii int, opts *Options) (*Mapping, bool) {
+	st := &ufState{d: d, a: a, ii: ii, opts: opts}
+	n := d.NumNodes()
+	st.placePE = make([]int, n)
+	st.placeT = make([]int, n)
+	for i := range st.placePE {
+		st.placePE[i] = -1
+		st.placeT[i] = -1
+	}
+	st.fuBusy = make([]bool, a.NumPEs()*ii)
+	st.xbarUse = make([]int, a.NumPEs()*ii)
+	st.buildCands()
+	st.buildEdgeIndex()
+
+	for _, v := range d.TopoOrder() {
+		if !st.placeGreedy(v) {
+			return nil, false
+		}
+	}
+	return &Mapping{II: ii, PlacePE: append([]int(nil), st.placePE...), PlaceT: append([]int(nil), st.placeT...)}, true
+}
+
+func (st *ufState) buildCands() {
+	n := st.d.NumNodes()
+	st.cands = make([][]int, n)
+	for v := 0; v < n; v++ {
+		var pes []int
+		if st.opts.AllowedClusters != nil && st.opts.AllowedClusters[v] != nil {
+			for _, cid := range st.opts.AllowedClusters[v] {
+				pes = append(pes, st.a.PEsInCluster(cid)...)
+			}
+		} else {
+			for pe := 0; pe < st.a.NumPEs(); pe++ {
+				pes = append(pes, pe)
+			}
+		}
+		if st.d.Nodes[v].Op.IsMem() {
+			var mem []int
+			for _, pe := range pes {
+				if st.a.PEs[pe].MemCapable {
+					mem = append(mem, pe)
+				}
+			}
+			pes = mem
+		}
+		st.cands[v] = pes
+	}
+}
+
+func (st *ufState) buildEdgeIndex() {
+	n := st.d.NumNodes()
+	st.inIdx = make([][]int, n)
+	st.outIdx = make([][]int, n)
+	for i, e := range st.d.Edges {
+		st.outIdx[e.From] = append(st.outIdx[e.From], i)
+		st.inIdx[e.To] = append(st.inIdx[e.To], i)
+	}
+}
+
+// placeGreedy schedules v at the earliest cycle with the first PE (in
+// index order) whose FU slot is free and whose operand transfers fit
+// the crossbar budget.
+func (st *ufState) placeGreedy(v int) bool {
+	est := 0
+	ubound := 1 << 30
+	for _, ei := range st.inIdx[v] {
+		e := st.d.Edges[ei]
+		p := e.From
+		if st.placeT[p] < 0 {
+			continue
+		}
+		if t := st.placeT[p] + st.d.Nodes[p].Op.Latency() - e.Dist*st.ii; t > est {
+			est = t
+		}
+	}
+	for _, ei := range st.outIdx[v] {
+		e := st.d.Edges[ei]
+		w := e.To
+		if w == v {
+			continue
+		}
+		if st.placeT[w] < 0 {
+			continue
+		}
+		// Back edge to an already placed consumer: v must finish in time.
+		if t := st.placeT[w] + e.Dist*st.ii - st.d.Nodes[v].Op.Latency(); t < ubound {
+			ubound = t
+		}
+	}
+	if est < 0 {
+		est = 0
+	}
+	hi := est + st.ii - 1
+	if hi > ubound {
+		hi = ubound
+	}
+	for t := est; t <= hi; t++ {
+		slot := t % st.ii
+		for _, pe := range st.cands[v] {
+			if st.fuBusy[pe*st.ii+slot] {
+				continue
+			}
+			if st.tryClaimTransfers(v, pe, t) {
+				st.placePE[v] = pe
+				st.placeT[v] = t
+				st.fuBusy[pe*st.ii+slot] = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tryClaimTransfers checks and claims crossbar bandwidth for every
+// operand of v arriving at (pe, t) and for back-edge deliveries from v
+// to already-placed consumers. All-or-nothing.
+func (st *ufState) tryClaimTransfers(v, pe, t int) bool {
+	type use struct{ idx int }
+	var claimed []use
+	claim := func(p, slot int) bool {
+		idx := p*st.ii + slot
+		if st.xbarUse[idx] >= st.opts.CrossbarCap {
+			return false
+		}
+		st.xbarUse[idx]++
+		claimed = append(claimed, use{idx})
+		return true
+	}
+	rollback := func() {
+		for _, u := range claimed {
+			st.xbarUse[u.idx]--
+		}
+	}
+	// Operands arriving at v.
+	for _, ei := range st.inIdx[v] {
+		e := st.d.Edges[ei]
+		p := e.From
+		if st.placeT[p] < 0 || p == v {
+			continue
+		}
+		if !st.claimPath(st.placePE[p], pe, t%st.ii, claim) {
+			rollback()
+			return false
+		}
+	}
+	// Values v must deliver to already-placed consumers (back edges).
+	for _, ei := range st.outIdx[v] {
+		e := st.d.Edges[ei]
+		w := e.To
+		if st.placeT[w] < 0 || w == v {
+			continue
+		}
+		if !st.claimPath(pe, st.placePE[w], st.placeT[w]%st.ii, claim) {
+			rollback()
+			return false
+		}
+	}
+	return true
+}
+
+// claimPath spends one forwarding slot in every PE along the H-then-V
+// Manhattan path from src to dst (excluding dst) in the given cycle.
+// Same-PE delivery is free (local register read).
+func (st *ufState) claimPath(src, dst, slot int, claim func(pe, slot int) bool) bool {
+	if src == dst {
+		return true
+	}
+	sr, sc := st.a.PEs[src].Row, st.a.PEs[src].Col
+	dr, dc := st.a.PEs[dst].Row, st.a.PEs[dst].Col
+	r, c := sr, sc
+	for c != dc {
+		if !claim(st.a.PEAt(r, c), slot) {
+			return false
+		}
+		if dc > c {
+			c++
+		} else {
+			c--
+		}
+	}
+	for r != dr {
+		if !claim(st.a.PEAt(r, c), slot) {
+			return false
+		}
+		if dr > r {
+			r++
+		} else {
+			r--
+		}
+	}
+	return true
+}
+
+// Validate checks a mapping against the model's constraints.
+func Validate(d *dfg.Graph, a *arch.CGRA, m *Mapping, allowedClusters [][]int) error {
+	if m == nil {
+		return fmt.Errorf("nil mapping")
+	}
+	n := d.NumNodes()
+	if len(m.PlacePE) != n || len(m.PlaceT) != n {
+		return fmt.Errorf("placement arrays have wrong length")
+	}
+	busy := make(map[int]int)
+	for v := 0; v < n; v++ {
+		pe, t := m.PlacePE[v], m.PlaceT[v]
+		if pe < 0 || pe >= a.NumPEs() || t < 0 {
+			return fmt.Errorf("node %d has invalid placement (%d,%d)", v, pe, t)
+		}
+		if d.Nodes[v].Op.IsMem() && !a.PEs[pe].MemCapable {
+			return fmt.Errorf("memory op %d on non-memory PE %d", v, pe)
+		}
+		if allowedClusters != nil && allowedClusters[v] != nil {
+			ok := false
+			for _, c := range allowedClusters[v] {
+				if a.ClusterOf(pe) == c {
+					ok = true
+				}
+			}
+			if !ok {
+				return fmt.Errorf("node %d violates cluster restriction", v)
+			}
+		}
+		key := pe*m.II + t%m.II
+		if prev, dup := busy[key]; dup {
+			return fmt.Errorf("nodes %d and %d share FU slot", prev, v)
+		}
+		busy[key] = v
+	}
+	for _, e := range d.Edges {
+		avail := m.PlaceT[e.From] + d.Nodes[e.From].Op.Latency()
+		need := m.PlaceT[e.To] + e.Dist*m.II
+		if need < avail {
+			return fmt.Errorf("edge %d->%d consumed %d cycles before availability", e.From, e.To, avail-need)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+// Package panorama is the public API of this PANORAMA (DAC'22)
+// reproduction: a divide-and-conquer CGRA compiler that partitions a
+// loop-body dataflow graph with spectral clustering, maps the cluster
+// dependency graph onto the CGRA's cluster grid with split&push ILPs,
+// and uses the result to guide a lower-level place-and-route mapper.
+//
+// Quick start:
+//
+//	g, _ := panorama.Kernel("fir", 0.25)     // a benchmark DFG
+//	a := panorama.NewCGRA8x8()               // 8x8 CGRA, 4x4 clusters
+//	res, _ := panorama.MapPanSPR(g, a, 1)    // Pan-SPR* pipeline
+//	fmt.Println(res.Lower.II, res.Lower.QoM)
+//
+// The heavy lifting lives in internal packages (dfg, arch, mrrg,
+// spectral, ilp, clustermap, spr, ultrafast, core); this package
+// re-exports the stable surface.
+package panorama
+
+import (
+	"fmt"
+
+	"panorama/internal/arch"
+	"panorama/internal/core"
+	"panorama/internal/dfg"
+	"panorama/internal/kernels"
+	"panorama/internal/spr"
+	"panorama/internal/ultrafast"
+)
+
+// DFG is a loop-body dataflow graph (see internal/dfg for the full
+// construction and analysis API).
+type DFG = dfg.Graph
+
+// Op is a DFG operation kind.
+type Op = dfg.Op
+
+// Re-exported operation kinds.
+const (
+	OpNop    = dfg.OpNop
+	OpAdd    = dfg.OpAdd
+	OpSub    = dfg.OpSub
+	OpMul    = dfg.OpMul
+	OpDiv    = dfg.OpDiv
+	OpShl    = dfg.OpShl
+	OpShr    = dfg.OpShr
+	OpAnd    = dfg.OpAnd
+	OpOr     = dfg.OpOr
+	OpXor    = dfg.OpXor
+	OpCmp    = dfg.OpCmp
+	OpSelect = dfg.OpSelect
+	OpLoad   = dfg.OpLoad
+	OpStore  = dfg.OpStore
+	OpConst  = dfg.OpConst
+	OpPhi    = dfg.OpPhi
+)
+
+// CGRA is a target architecture instance.
+type CGRA = arch.CGRA
+
+// ArchConfig parameterises a custom CGRA (see NewCGRA).
+type ArchConfig = arch.Config
+
+// Result is the outcome of a full Panorama pipeline run (or a baseline
+// run, in which case only Lower/LowerTime are populated).
+type Result = core.Result
+
+// SPROptions tunes the SPR* lower-level mapper.
+type SPROptions = spr.Options
+
+// UltraFastOptions tunes the UltraFast* lower-level mapper.
+type UltraFastOptions = ultrafast.Options
+
+// Config tunes the Panorama higher-level pipeline.
+type Config = core.Config
+
+// NewDFG returns an empty named dataflow graph.
+func NewDFG(name string) *DFG { return dfg.New(name) }
+
+// NewCGRA builds a custom CGRA.
+func NewCGRA(cfg ArchConfig) (*CGRA, error) { return arch.New(cfg) }
+
+// NewCGRA4x4 returns a single-cluster 4x4 CGRA.
+func NewCGRA4x4() *CGRA { return arch.Preset4x4() }
+
+// NewCGRA8x8 returns the scaled default target: 8x8 PEs in a 4x4
+// cluster grid.
+func NewCGRA8x8() *CGRA { return arch.Preset8x8() }
+
+// NewCGRA9x9 returns the 9x9 CGRA used in the power comparison.
+func NewCGRA9x9() *CGRA { return arch.Preset9x9() }
+
+// NewCGRA16x16 returns the paper's main target: 16x16 PEs in a 4x4
+// cluster grid with six inter-cluster links per adjacent pair.
+func NewCGRA16x16() *CGRA { return arch.Preset16x16() }
+
+// Kernel builds one of the twelve benchmark loop kernels of the paper's
+// Table 1a at the given scale (1.0 approximates the paper's node
+// counts).
+func Kernel(name string, scale float64) (*DFG, error) {
+	spec, err := kernels.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Build(scale), nil
+}
+
+// KernelNames lists the benchmark kernels in Table 1a order.
+func KernelNames() []string { return kernels.Names() }
+
+// MapPanSPR runs the full Panorama pipeline with the SPR* lower-level
+// mapper (the paper's Pan-SPR*).
+func MapPanSPR(d *DFG, a *CGRA, seed int64) (*Result, error) {
+	return core.MapPanorama(d, a, core.SPRLower{Options: spr.Options{Seed: seed}},
+		core.Config{Seed: seed, RelaxOnFailure: true})
+}
+
+// MapPanSPRWith runs Pan-SPR* with explicit options.
+func MapPanSPRWith(d *DFG, a *CGRA, cfg Config, opts SPROptions) (*Result, error) {
+	return core.MapPanorama(d, a, core.SPRLower{Options: opts}, cfg)
+}
+
+// MapSPR runs the unguided SPR* baseline.
+func MapSPR(d *DFG, a *CGRA, seed int64) (*Result, error) {
+	return core.MapBaseline(d, a, core.SPRLower{Options: spr.Options{Seed: seed}})
+}
+
+// MapPanUltraFast runs the Panorama pipeline with the UltraFast*
+// lower-level mapper (the paper's Pan-UltraFast).
+func MapPanUltraFast(d *DFG, a *CGRA, seed int64) (*Result, error) {
+	return core.MapPanorama(d, a, core.UltraFastLower{},
+		core.Config{Seed: seed, RelaxOnFailure: true})
+}
+
+// MapUltraFast runs the unguided UltraFast* baseline.
+func MapUltraFast(d *DFG, a *CGRA, _ int64) (*Result, error) {
+	return core.MapBaseline(d, a, core.UltraFastLower{})
+}
+
+// MustKernel is Kernel but panics on unknown names; convenient in
+// examples.
+func MustKernel(name string, scale float64) *DFG {
+	g, err := Kernel(name, scale)
+	if err != nil {
+		panic(fmt.Sprintf("panorama: %v", err))
+	}
+	return g
+}

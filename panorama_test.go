@@ -1,0 +1,85 @@
+package panorama_test
+
+import (
+	"testing"
+
+	"panorama"
+)
+
+func TestPublicQuickstart(t *testing.T) {
+	g := panorama.MustKernel("fir", 0.15)
+	a := panorama.NewCGRA8x8()
+	res, err := panorama.MapPanSPR(g, a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Lower.Success {
+		t.Fatal("Pan-SPR* failed on tiny fir")
+	}
+	if res.Lower.QoM <= 0 || res.Lower.QoM > 1 {
+		t.Fatalf("QoM = %v", res.Lower.QoM)
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	g := panorama.MustKernel("cordic", 0.15)
+	a := panorama.NewCGRA8x8()
+	if res, err := panorama.MapSPR(g, a, 1); err != nil || !res.Lower.Success {
+		t.Fatalf("SPR* baseline: %v %v", err, res)
+	}
+	if res, err := panorama.MapUltraFast(g, a, 1); err != nil || !res.Lower.Success {
+		t.Fatalf("UltraFast* baseline: %v %v", err, res)
+	}
+	if res, err := panorama.MapPanUltraFast(g, a, 1); err != nil || !res.Lower.Success {
+		t.Fatalf("Pan-UltraFast: %v %v", err, res)
+	}
+}
+
+func TestPublicCustomDFGAndArch(t *testing.T) {
+	g := panorama.NewDFG("custom")
+	ld := g.AddNode(panorama.OpLoad, "in")
+	ml := g.AddNode(panorama.OpMul, "")
+	st := g.AddNode(panorama.OpStore, "out")
+	g.AddEdge(ld, ml)
+	g.AddEdge(ml, st)
+	if err := g.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := panorama.NewCGRA(panorama.ArchConfig{
+		Rows: 4, Cols: 4, ClusterRows: 2, ClusterCols: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := panorama.MapSPR(g, a, 1)
+	if err != nil || !res.Lower.Success {
+		t.Fatalf("custom map failed: %v", err)
+	}
+}
+
+func TestKernelNames(t *testing.T) {
+	if len(panorama.KernelNames()) != 12 {
+		t.Fatal("expected 12 kernels")
+	}
+	if _, err := panorama.Kernel("nosuch", 1); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	if panorama.NewCGRA4x4().NumPEs() != 16 ||
+		panorama.NewCGRA8x8().NumPEs() != 64 ||
+		panorama.NewCGRA9x9().NumPEs() != 81 ||
+		panorama.NewCGRA16x16().NumPEs() != 256 {
+		t.Fatal("preset sizes wrong")
+	}
+}
+
+func TestMustKernelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustKernel did not panic")
+		}
+	}()
+	panorama.MustKernel("nosuch", 1)
+}
