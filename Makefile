@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check build test vet race bench
+
+# The repository's verification gate: vet, build everything, then the
+# full test suite with the race detector (the parallel pipeline and
+# harness paths all run under it).
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

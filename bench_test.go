@@ -8,7 +8,9 @@
 package panorama_test
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"panorama/internal/bench"
 )
@@ -36,6 +38,33 @@ func BenchmarkTable1aClustering(b *testing.B) {
 			sum += r.ClusteringSec + r.ClusMapSec
 		}
 		b.ReportMetric(sum/float64(len(rows)), "s/kernel")
+	}
+}
+
+// BenchmarkTable1aParallelSpeedup measures the harness's -j scaling on
+// the full 12-kernel Table 1a grid: each iteration runs the table once
+// serially (-j1) and once with one worker per CPU, and reports the
+// wall-clock ratio as the "speedup" metric. On a >= 4-core machine the
+// 12 independent kernels keep the pool saturated and the ratio lands
+// well above 2x; on fewer cores it degrades gracefully toward 1x.
+func BenchmarkTable1aParallelSpeedup(b *testing.B) {
+	serial := benchCfg()
+	serial.Workers = 1
+	parallel := benchCfg()
+	parallel.Workers = runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := bench.Table1a(serial); err != nil {
+			b.Fatal(err)
+		}
+		serialSec := time.Since(t0).Seconds()
+		t1 := time.Now()
+		if _, err := bench.Table1a(parallel); err != nil {
+			b.Fatal(err)
+		}
+		parallelSec := time.Since(t1).Seconds()
+		b.ReportMetric(serialSec/parallelSec, "speedup")
+		b.ReportMetric(float64(parallel.Workers), "workers")
 	}
 }
 

@@ -27,6 +27,7 @@ func main() {
 		figure   = flag.String("figure", "", "regenerate one figure: 5, 7, 8 or 9")
 		ablation = flag.Bool("ablations", false, "run the ablation suite")
 		seed     = flag.Int64("seed", 1, "random seed")
+		workers  = flag.Int("j", 0, "worker pool size for the harness (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -35,6 +36,7 @@ func main() {
 		cfg = bench.Full()
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	smallName, bigName := "4x4", "8x8"
 	if *full {
 		smallName, bigName = "9x9", "16x16"

@@ -34,6 +34,7 @@ func main() {
 		archFile   = flag.String("arch-file", "", "JSON architecture description (overrides -arch)")
 		mapper     = flag.String("mapper", "pan-spr", "mapper: spr, pan-spr, ultrafast, pan-ultrafast")
 		seed       = flag.Int64("seed", 1, "random seed")
+		workers    = flag.Int("j", 0, "pipeline worker pool size (0 = one per CPU, 1 = serial); pan mappers only")
 		list       = flag.Bool("list", false, "list benchmark kernels and exit")
 		showSched  = flag.Bool("show-schedule", false, "print the time-extended schedule (SPR mappers)")
 		showClus   = flag.Bool("show-clusters", true, "print the cluster mapping grid (pan mappers)")
@@ -78,12 +79,12 @@ func main() {
 		}
 	case "pan-spr":
 		res, err = core.MapPanorama(g, a, core.SPRLower{Options: spr.Options{Seed: *seed}},
-			core.Config{Seed: *seed, RelaxOnFailure: true})
+			core.Config{Seed: *seed, RelaxOnFailure: true, Workers: *workers})
 	case "ultrafast":
 		res, err = core.MapBaseline(g, a, core.UltraFastLower{})
 	case "pan-ultrafast":
 		res, err = core.MapPanorama(g, a, core.UltraFastLower{},
-			core.Config{Seed: *seed, RelaxOnFailure: true})
+			core.Config{Seed: *seed, RelaxOnFailure: true, Workers: *workers})
 	default:
 		err = fmt.Errorf("unknown mapper %q", *mapper)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -22,28 +23,28 @@ type AblationRow struct {
 // BFS-order partitioner (same k) on inter-cluster edge counts — the
 // quantity the clustering stage is supposed to minimise.
 func AblationClustering(cfg Config) ([]AblationRow, error) {
-	rows := make([]AblationRow, 0, len(cfg.Fig5Kernels))
 	a := cfg.Arch()
-	for _, name := range cfg.Fig5Kernels {
+	return mapOrdered(cfg, len(cfg.Fig5Kernels), func(i int) (AblationRow, error) {
+		name := cfg.Fig5Kernels[i]
 		g, err := cfg.buildKernel(name)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		parts, err := spectral.Sweep(g, a.ClusterRows, core.DefaultMaxClusters(g, a), cfg.Seed)
+		// Serial inner sweep: the harness pool already spans kernels.
+		parts, _, err := spectral.SweepCtx(context.Background(), g, a.ClusterRows, core.DefaultMaxClusters(g, a), cfg.Seed, 1)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		best := spectral.TopBalanced(parts, 1)[0]
 
 		naive := bfsPartition(g, best.K)
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Kernel:       name,
 			Metric:       "inter-cluster edges",
 			WithValue:    float64(best.InterE),
 			AblatedValue: float64(naive.InterE),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // bfsPartition slices the DFG into k equal chunks of a BFS order — the
@@ -131,37 +132,36 @@ func partitionFromAssign(ag adjGraph, assign []int, k int) *spectral.Partition {
 // constraints.
 func AblationMatchingCut(cfg Config) ([]AblationRow, error) {
 	a := cfg.Arch()
-	rows := make([]AblationRow, 0, len(cfg.Fig5Kernels))
-	for _, name := range cfg.Fig5Kernels {
+	return mapOrdered(cfg, len(cfg.Fig5Kernels), func(i int) (AblationRow, error) {
+		name := cfg.Fig5Kernels[i]
 		g, err := cfg.buildKernel(name)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		parts, err := spectral.Sweep(g, a.ClusterRows, core.DefaultMaxClusters(g, a), cfg.Seed)
+		parts, _, err := spectral.SweepCtx(context.Background(), g, a.ClusterRows, core.DefaultMaxClusters(g, a), cfg.Seed, 1)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		best := spectral.TopBalanced(parts, 1)[0]
 		cdg := spectral.BuildCDG(g, best)
 
 		with, err := clustermap.MapWithEscalation(cdg, a.ClusterRows, a.ClusterCols, cfg.ClusterMap)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		ablOpts := cfg.ClusterMap
 		ablOpts.DisableMatchingCut = true
 		without, err := clustermap.MapWithEscalation(cdg, a.ClusterRows, a.ClusterCols, ablOpts)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Kernel:       name,
 			Metric:       "weighted cluster distance",
 			WithValue:    float64(with.Cost),
 			AblatedValue: float64(without.Cost),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // AblationTop3 compares guiding the lower mapper with the best of the
@@ -170,32 +170,31 @@ func AblationMatchingCut(cfg Config) ([]AblationRow, error) {
 func AblationTop3(cfg Config) ([]AblationRow, error) {
 	a := cfg.Arch()
 	lower := cfg.sprLower()
-	rows := make([]AblationRow, 0, len(cfg.Fig5Kernels))
-	for _, name := range cfg.Fig5Kernels {
+	return mapOrdered(cfg, len(cfg.Fig5Kernels), func(i int) (AblationRow, error) {
+		name := cfg.Fig5Kernels[i]
 		g, err := cfg.buildKernel(name)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		top3Cfg := cfg.panoramaConfig()
 		top3Cfg.TopPartitions = 3
 		res3, err := core.MapPanorama(g, a, lower, top3Cfg)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		top1Cfg := cfg.panoramaConfig()
 		top1Cfg.TopPartitions = 1
 		res1, err := core.MapPanorama(g, a, lower, top1Cfg)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Kernel:       name,
 			Metric:       "QoM",
 			WithValue:    res3.Lower.QoM,
 			AblatedValue: res1.Lower.QoM,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderAblation formats ablation rows.

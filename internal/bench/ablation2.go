@@ -22,28 +22,27 @@ func AblationExpressLinks(cfg Config) ([]AblationRow, error) {
 		return nil, err
 	}
 	lower := cfg.sprLower()
-	rows := make([]AblationRow, 0, len(cfg.Fig5Kernels))
-	for _, name := range cfg.Fig5Kernels {
+	return mapOrdered(cfg, len(cfg.Fig5Kernels), func(i int) (AblationRow, error) {
+		name := cfg.Fig5Kernels[i]
 		g, err := cfg.buildKernel(name)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		resWith, err := core.MapPanorama(g, with, lower, cfg.panoramaConfig())
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		resWithout, err := core.MapPanorama(g, without, lower, cfg.panoramaConfig())
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Kernel:       name,
 			Metric:       "II (express vs none)",
 			WithValue:    float64(resWith.Lower.II),
 			AblatedValue: float64(resWithout.Lower.II),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // SeedStudyRow reports the II spread of one kernel across seeds: the
@@ -64,28 +63,52 @@ func SeedStudy(cfg Config, seeds []int64) ([]SeedStudyRow, error) {
 		seeds = []int64{1, 2, 3, 4, 5}
 	}
 	a := cfg.Arch()
-	rows := make([]SeedStudyRow, 0, len(cfg.Fig5Kernels))
-	for _, name := range cfg.Fig5Kernels {
+	// Fan out over kernel×seed pairs so a single slow kernel does not
+	// serialise the whole study; rows are then folded in kernel order.
+	type runKey struct {
+		kernel int
+		seed   int64
+	}
+	var runs []runKey
+	for ki := range cfg.Fig5Kernels {
+		for _, seed := range seeds {
+			runs = append(runs, runKey{ki, seed})
+		}
+	}
+	iis, err := mapOrdered(cfg, len(runs), func(i int) (int, error) {
+		r := runs[i]
+		name := cfg.Fig5Kernels[r.kernel]
 		g, err := cfg.buildKernel(name)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
+		res, err := spr.Map(g, a, spr.Options{Seed: r.seed})
+		if err != nil {
+			return 0, fmt.Errorf("%s seed %d: %w", name, r.seed, err)
+		}
+		if !res.Success {
+			return 0, nil // 0 = failure marker, folded below
+		}
+		return res.II, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SeedStudyRow, 0, len(cfg.Fig5Kernels))
+	for ki, name := range cfg.Fig5Kernels {
 		row := SeedStudyRow{Kernel: name, MinII: 1 << 30}
-		for _, seed := range seeds {
-			res, err := spr.Map(g, a, spr.Options{Seed: seed})
-			if err != nil {
-				return nil, fmt.Errorf("%s seed %d: %w", name, seed, err)
-			}
-			if !res.Success {
+		for si := range seeds {
+			ii := iis[ki*len(seeds)+si]
+			if ii == 0 {
 				row.Failures++
 				continue
 			}
-			row.IIs = append(row.IIs, res.II)
-			if res.II < row.MinII {
-				row.MinII = res.II
+			row.IIs = append(row.IIs, ii)
+			if ii < row.MinII {
+				row.MinII = ii
 			}
-			if res.II > row.MaxII {
-				row.MaxII = res.II
+			if ii > row.MaxII {
+				row.MaxII = ii
 			}
 		}
 		if len(row.IIs) == 0 {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -16,6 +17,63 @@ func tiny() Config {
 	cfg.Fig5Kernels = []string{"fir", "cordic"}
 	cfg.Fig8Kernels = []string{"fir"}
 	return cfg
+}
+
+// stripTimings zeroes the wall-clock fields so parallel and serial
+// harness runs can be compared for value equality.
+func stripTable1aTimings(rows []Table1aRow) []Table1aRow {
+	out := append([]Table1aRow(nil), rows...)
+	for i := range out {
+		out[i].ClusteringSec, out[i].ClusMapSec = 0, 0
+	}
+	return out
+}
+
+func stripCompareTimings(rows []CompareRow) []CompareRow {
+	out := append([]CompareRow(nil), rows...)
+	for i := range out {
+		out[i].BaseSec, out[i].PanSec = 0, 0
+	}
+	return out
+}
+
+// TestHarnessParallelMatchesSerial verifies the determinism contract of
+// the -j flag: every table the harness produces is identical (modulo
+// wall-clock timings) whether the kernel grid runs serially or through
+// the worker pool.
+func TestHarnessParallelMatchesSerial(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		serial := tiny()
+		serial.Seed = seed
+		serial.Workers = 1
+		parallel := tiny()
+		parallel.Seed = seed
+		parallel.Workers = 4
+
+		sRows, err := Table1a(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pRows, err := Table1a(parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s, p := fmt.Sprintf("%+v", stripTable1aTimings(sRows)), fmt.Sprintf("%+v", stripTable1aTimings(pRows)); s != p {
+			t.Fatalf("seed %d: Table1a differs between -j1 and -j4\nserial:   %s\nparallel: %s", seed, s, p)
+		}
+
+		sCmp, err := Figure9(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pCmp, err := Figure9(parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s, p := fmt.Sprintf("%+v", stripCompareTimings(sCmp)), fmt.Sprintf("%+v", stripCompareTimings(pCmp)); s != p {
+			t.Fatalf("seed %d: Figure9 differs between -j1 and -j4\nserial:   %s\nparallel: %s", seed, s, p)
+		}
+	}
 }
 
 func TestTable1a(t *testing.T) {

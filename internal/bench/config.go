@@ -31,6 +31,14 @@ type Config struct {
 	Fig5Kernels []string // the four kernels of Figure 5
 	Seed        int64
 
+	// Workers bounds the worker pool every harness function runs its
+	// kernel×mapper×arch configurations through (the cmd/experiments
+	// -j flag): 0 means one per CPU, 1 forces the serial reference
+	// order. Output tables are identical at any value — each
+	// configuration is an independent seeded run whose result lands at
+	// a fixed row index.
+	Workers int
+
 	SPR        spr.Options
 	UltraFast  ultrafast.Options
 	ClusterMap clustermap.Options
@@ -73,6 +81,11 @@ func (c Config) panoramaConfig() core.Config {
 	}
 	cfg.RelaxOnFailure = true
 	cfg.ClusterMap = c.ClusterMap
+	if cfg.Workers == 0 {
+		// The harness already fans out across configurations; keep each
+		// pipeline serial inside so the pool is not oversubscribed.
+		cfg.Workers = 1
+	}
 	return cfg
 }
 

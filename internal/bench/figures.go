@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -16,28 +17,28 @@ type Fig5Series struct {
 	IF     []float64 // IF[i] is the imbalance factor at k = KMin+i
 }
 
-// Figure5 regenerates the imbalance-factor-vs-cluster-count curves.
+// Figure5 regenerates the imbalance-factor-vs-cluster-count curves,
+// one worker-pool task per kernel.
 func Figure5(cfg Config) ([]Fig5Series, error) {
 	a := cfg.Arch()
 	kMin := a.ClusterRows
 	kMax := 2 * a.NumClusters()
-	out := make([]Fig5Series, 0, len(cfg.Fig5Kernels))
-	for _, name := range cfg.Fig5Kernels {
+	return mapOrdered(cfg, len(cfg.Fig5Kernels), func(i int) (Fig5Series, error) {
+		name := cfg.Fig5Kernels[i]
 		g, err := cfg.buildKernel(name)
 		if err != nil {
-			return nil, err
+			return Fig5Series{}, err
 		}
-		parts, err := spectral.Sweep(g, kMin, kMax, cfg.Seed)
+		parts, _, err := spectral.SweepCtx(context.Background(), g, kMin, kMax, cfg.Seed, 1)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
+			return Fig5Series{}, fmt.Errorf("%s: %w", name, err)
 		}
 		s := Fig5Series{Kernel: name, KMin: kMin}
 		for _, p := range parts {
 			s.IF = append(s.IF, p.IF)
 		}
-		out = append(out, s)
-	}
-	return out, nil
+		return s, nil
+	})
 }
 
 // RenderFigure5 prints the IF curves as one row per k.
@@ -76,7 +77,12 @@ type CompareRow struct {
 	PanQoM  float64
 	BaseSec float64
 	PanSec  float64
-	Relaxed bool
+	// Relaxed: memory ops were freed but the mapping is still guided.
+	// FellBack: guidance was abandoned and the Pan columns report an
+	// unguided baseline run (flagged so the table never attributes
+	// baseline quality to guided mapping).
+	Relaxed  bool
+	FellBack bool
 }
 
 // Figure7 compares SPR* against Pan-SPR* on every kernel.
@@ -91,33 +97,33 @@ func Figure9(cfg Config) ([]CompareRow, error) {
 
 func compare(cfg Config, lower core.Lower) ([]CompareRow, error) {
 	a := cfg.Arch()
-	rows := make([]CompareRow, 0, len(cfg.Kernels))
-	for _, name := range cfg.Kernels {
+	return mapOrdered(cfg, len(cfg.Kernels), func(i int) (CompareRow, error) {
+		name := cfg.Kernels[i]
 		g, err := cfg.buildKernel(name)
 		if err != nil {
-			return nil, err
+			return CompareRow{}, err
 		}
 		base, err := core.MapBaseline(g, a, lower)
 		if err != nil {
-			return nil, fmt.Errorf("%s baseline: %w", name, err)
+			return CompareRow{}, fmt.Errorf("%s baseline: %w", name, err)
 		}
 		pan, err := core.MapPanorama(g, a, lower, cfg.panoramaConfig())
 		if err != nil {
-			return nil, fmt.Errorf("%s panorama: %w", name, err)
+			return CompareRow{}, fmt.Errorf("%s panorama: %w", name, err)
 		}
-		rows = append(rows, CompareRow{
-			Kernel:  name,
-			MII:     base.Lower.MII,
-			BaseII:  base.Lower.II,
-			PanII:   pan.Lower.II,
-			BaseQoM: base.Lower.QoM,
-			PanQoM:  pan.Lower.QoM,
-			BaseSec: base.TotalTime().Seconds(),
-			PanSec:  pan.TotalTime().Seconds(),
-			Relaxed: pan.Relaxed,
-		})
-	}
-	return rows, nil
+		return CompareRow{
+			Kernel:   name,
+			MII:      base.Lower.MII,
+			BaseII:   base.Lower.II,
+			PanII:    pan.Lower.II,
+			BaseQoM:  base.Lower.QoM,
+			PanQoM:   pan.Lower.QoM,
+			BaseSec:  base.TotalTime().Seconds(),
+			PanSec:   pan.TotalTime().Seconds(),
+			Relaxed:  pan.Relaxed,
+			FellBack: pan.FellBack,
+		}, nil
+	})
 }
 
 // RenderCompare formats Figure 7 / Figure 9 rows with summary ratios.
@@ -171,11 +177,11 @@ func Figure8(cfg Config) ([]Fig8Row, error) {
 	small := cfg.ArchSmall()
 	big := cfg.Arch()
 	lower := cfg.sprLower()
-	rows := make([]Fig8Row, 0, len(cfg.Fig8Kernels))
-	for _, name := range cfg.Fig8Kernels {
+	return mapOrdered(cfg, len(cfg.Fig8Kernels), func(i int) (Fig8Row, error) {
+		name := cfg.Fig8Kernels[i]
 		g, err := cfg.buildKernel(name)
 		if err != nil {
-			return nil, err
+			return Fig8Row{}, err
 		}
 		row := Fig8Row{Kernel: name}
 		eff := func(archPick string, pan bool) (float64, error) {
@@ -203,25 +209,24 @@ func Figure8(cfg Config) ([]Fig8Row, error) {
 				100)
 		}
 		if row.SmallBase, err = eff("small", false); err != nil {
-			return nil, fmt.Errorf("%s small base: %w", name, err)
+			return Fig8Row{}, fmt.Errorf("%s small base: %w", name, err)
 		}
 		if row.SmallPan, err = eff("small", true); err != nil {
-			return nil, fmt.Errorf("%s small pan: %w", name, err)
+			return Fig8Row{}, fmt.Errorf("%s small pan: %w", name, err)
 		}
 		if row.BigBase, err = eff("big", false); err != nil {
-			return nil, fmt.Errorf("%s big base: %w", name, err)
+			return Fig8Row{}, fmt.Errorf("%s big base: %w", name, err)
 		}
 		if row.BigPan, err = eff("big", true); err != nil {
-			return nil, fmt.Errorf("%s big pan: %w", name, err)
+			return Fig8Row{}, fmt.Errorf("%s big pan: %w", name, err)
 		}
 		if row.SmallBase > 0 {
 			row.NormSmallPan = row.SmallPan / row.SmallBase
 			row.NormBigBase = row.BigBase / row.SmallBase
 			row.NormBigPan = row.BigPan / row.SmallBase
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // RenderFigure8 formats the normalised power-efficiency table.

@@ -1,0 +1,29 @@
+package bench
+
+import (
+	"context"
+
+	"panorama/internal/pool"
+)
+
+// mapOrdered runs fn(i) for every i in [0, n) through the harness's
+// shared worker pool and collects the results in index order, so a
+// parallel harness run renders byte-identical tables to a serial one.
+// Each fn builds its own kernel graph (DFGs freeze lazily and must not
+// be shared across goroutines before freezing); architectures are
+// immutable after construction and may be shared.
+func mapOrdered[T any](cfg Config, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	_, err := pool.Run(context.Background(), cfg.Workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -32,32 +32,31 @@ func Scaling(cfg Config, kernel string, scales []float64) ([]ScalingRow, error) 
 	}
 	a := cfg.Arch()
 	lower := cfg.sprLower()
-	rows := make([]ScalingRow, 0, len(scales))
-	for _, s := range scales {
+	return mapOrdered(cfg, len(scales), func(i int) (ScalingRow, error) {
+		s := scales[i]
 		scaled := cfg
 		scaled.KernelScale = s
 		g, err := scaled.buildKernel(kernel)
 		if err != nil {
-			return nil, err
+			return ScalingRow{}, err
 		}
 		t0 := time.Now()
 		base, err := core.MapBaseline(g, a, lower)
 		if err != nil {
-			return nil, err
+			return ScalingRow{}, err
 		}
 		baseSec := time.Since(t0).Seconds()
 		t1 := time.Now()
 		pan, err := core.MapPanorama(g, a, lower, scaled.panoramaConfig())
 		if err != nil {
-			return nil, err
+			return ScalingRow{}, err
 		}
-		rows = append(rows, ScalingRow{
+		return ScalingRow{
 			Scale: s, Nodes: g.NumNodes(),
 			BaseSec: baseSec, PanSec: time.Since(t1).Seconds(),
 			BaseII: base.Lower.II, PanII: pan.Lower.II,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderScaling formats the scalability study.

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -34,22 +35,22 @@ type Table1aRow struct {
 	ClusMapSec    float64
 }
 
-// Table1a regenerates Table 1a for every kernel in the configuration.
+// Table1a regenerates Table 1a for every kernel in the configuration,
+// fanning the kernels out over the shared worker pool (cfg.Workers).
 func Table1a(cfg Config) ([]Table1aRow, error) {
 	a := cfg.Arch()
-	rows := make([]Table1aRow, 0, len(cfg.Kernels))
-	for _, name := range cfg.Kernels {
+	return mapOrdered(cfg, len(cfg.Kernels), func(i int) (Table1aRow, error) {
+		name := cfg.Kernels[i]
 		g, err := cfg.buildKernel(name)
 		if err != nil {
-			return nil, err
+			return Table1aRow{}, err
 		}
 		row, err := table1aRow(g, a, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
+			return Table1aRow{}, fmt.Errorf("%s: %w", name, err)
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 func table1aRow(g *dfg.Graph, a *arch.CGRA, cfg Config) (Table1aRow, error) {
@@ -61,8 +62,10 @@ func table1aRow(g *dfg.Graph, a *arch.CGRA, cfg Config) (Table1aRow, error) {
 		MaxDeg: stats.MaxDegree,
 	}
 
+	// The harness fans out across kernels; keep each kernel's sweep
+	// serial so the worker pool is not oversubscribed.
 	t0 := time.Now()
-	parts, err := spectral.Sweep(g, a.ClusterRows, core.DefaultMaxClusters(g, a), cfg.Seed)
+	parts, _, err := spectral.SweepCtx(context.Background(), g, a.ClusterRows, core.DefaultMaxClusters(g, a), cfg.Seed, 1)
 	if err != nil {
 		return row, err
 	}

@@ -42,6 +42,26 @@ func TestDefaultMaxClusters(t *testing.T) {
 	}
 }
 
+func TestDefaultMaxClustersOneRowGrid(t *testing.T) {
+	// Preset4x4 is a single-cluster grid (R=1): the ClusterRows clamp
+	// alone would allow m=1, leaving the sweep k=1..1 and the spectral
+	// stage degenerate. The floor must keep m >= 2.
+	a := arch.Preset4x4()
+	if a.ClusterRows != 1 {
+		t.Fatalf("Preset4x4 cluster rows = %d, want 1", a.ClusterRows)
+	}
+	for _, n := range []int{1, 2, 6, 11} {
+		g := dfg.New("tiny")
+		for i := 0; i < n; i++ {
+			g.AddNode(dfg.OpAdd, "")
+		}
+		g.MustFreeze()
+		if got := DefaultMaxClusters(g, a); got < 2 {
+			t.Fatalf("%d-node kernel m = %d, want >= 2", n, got)
+		}
+	}
+}
+
 func TestWithNeighbors(t *testing.T) {
 	a := arch.Preset8x8() // 4x4 cluster grid
 	// Corner cluster 0 has 2 neighbours.
@@ -78,12 +98,63 @@ func TestMemBound(t *testing.T) {
 	if got := memBound(g, a, allowed); got != 3 {
 		t.Fatalf("memBound = %d, want 3", got)
 	}
-	// Spread over two clusters (multi-cluster nodes charged to none).
+	// Spread over two clusters: 6 loads share 4 memory PEs, so the
+	// best assignment still stacks 2 loads on some PE.
 	for i := range allowed {
 		allowed[i] = []int{3, 4}
 	}
+	if got := memBound(g, a, allowed); got != 2 {
+		t.Fatalf("memBound multi = %d, want 2", got)
+	}
+}
+
+// TestMemBoundSaturatedNeighborhood is the regression test for the dead
+// pre-emptive relaxation: AllowedClusters always widens memory ops to a
+// cluster neighbourhood (len > 1), and the old memBound only counted
+// ops pinned to a single cluster, so saturated multi-cluster sets were
+// reported as bound 1 and relaxMemOps never fired pre-emptively.
+func TestMemBoundSaturatedNeighborhood(t *testing.T) {
+	a := arch.Preset8x8() // 2 memory PEs per cluster
+	g := dfg.New("t")
+	for i := 0; i < 10; i++ {
+		g.AddNode(dfg.OpLoad, "")
+	}
+	g.MustFreeze()
+	// 10 loads, all restricted to the same two clusters: 4 memory PEs
+	// must carry 10 ops, so the pressure bound is ceil(10/4) = 3. The
+	// pre-fix implementation returned 1 here.
+	allowed := make([][]int, 10)
+	for i := range allowed {
+		allowed[i] = []int{0, 4}
+	}
+	if got := memBound(g, a, allowed); got != 3 {
+		t.Fatalf("memBound saturated = %d, want 3", got)
+	}
+	// Unrestricted ops may use any memory cluster; with 16 clusters the
+	// 10 loads spread out and the bound drops to 1.
+	for i := range allowed {
+		allowed[i] = nil
+	}
 	if got := memBound(g, a, allowed); got != 1 {
-		t.Fatalf("memBound multi = %d, want 1", got)
+		t.Fatalf("memBound unrestricted = %d, want 1", got)
+	}
+}
+
+// TestMemBoundSkewedSets checks the assignment is a real matching, not
+// a per-cluster average: ops with disjoint tight sets cannot borrow
+// capacity from clusters outside their sets.
+func TestMemBoundSkewedSets(t *testing.T) {
+	a := arch.Preset8x8()
+	g := dfg.New("t")
+	for i := 0; i < 5; i++ {
+		g.AddNode(dfg.OpLoad, "")
+	}
+	g.MustFreeze()
+	// Four loads pinned to cluster 0 (2 memory PEs -> need b=2) plus
+	// one free op; total capacity would be plentiful if averaging.
+	allowed := [][]int{{0}, {0}, {0}, {0}, nil}
+	if got := memBound(g, a, allowed); got != 2 {
+		t.Fatalf("memBound skewed = %d, want 2", got)
 	}
 }
 

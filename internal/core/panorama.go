@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"panorama/internal/arch"
 	"panorama/internal/clustermap"
 	"panorama/internal/dfg"
+	"panorama/internal/pool"
 	"panorama/internal/spectral"
 	"panorama/internal/spr"
 	"panorama/internal/ultrafast"
@@ -26,8 +28,9 @@ type Lower interface {
 	// Name identifies the mapper in reports ("spr", "ultrafast").
 	Name() string
 	// Map maps the DFG; allowed restricts each node to CGRA cluster ids
-	// (nil = unrestricted baseline).
-	Map(d *dfg.Graph, a *arch.CGRA, allowed [][]int) (LowerResult, error)
+	// (nil = unrestricted baseline). Long-running searches must honour
+	// ctx and return ctx.Err() once it fires.
+	Map(ctx context.Context, d *dfg.Graph, a *arch.CGRA, allowed [][]int) (LowerResult, error)
 }
 
 // LowerResult is the mapper-independent view of a lower-level result.
@@ -47,10 +50,10 @@ type SPRLower struct {
 func (s SPRLower) Name() string { return "spr" }
 
 // Map runs the SPR* mapper.
-func (s SPRLower) Map(d *dfg.Graph, a *arch.CGRA, allowed [][]int) (LowerResult, error) {
+func (s SPRLower) Map(ctx context.Context, d *dfg.Graph, a *arch.CGRA, allowed [][]int) (LowerResult, error) {
 	opts := s.Options
 	opts.AllowedClusters = allowed
-	res, err := spr.Map(d, a, opts)
+	res, err := spr.MapCtx(ctx, d, a, opts)
 	if err != nil {
 		return LowerResult{}, err
 	}
@@ -66,10 +69,10 @@ type UltraFastLower struct {
 func (u UltraFastLower) Name() string { return "ultrafast" }
 
 // Map runs the UltraFast* mapper.
-func (u UltraFastLower) Map(d *dfg.Graph, a *arch.CGRA, allowed [][]int) (LowerResult, error) {
+func (u UltraFastLower) Map(ctx context.Context, d *dfg.Graph, a *arch.CGRA, allowed [][]int) (LowerResult, error) {
 	opts := u.Options
 	opts.AllowedClusters = allowed
-	res, err := ultrafast.Map(d, a, opts)
+	res, err := ultrafast.MapCtx(ctx, d, a, opts)
 	if err != nil {
 		return LowerResult{}, err
 	}
@@ -86,6 +89,12 @@ type Config struct {
 	TopPartitions int
 	// Seed drives spectral clustering's k-means and the lower mapper.
 	Seed int64
+	// Workers bounds the worker pool behind the spectral k-sweep and
+	// the per-candidate cluster mapping; 0 means one per CPU, 1 forces
+	// the serial reference execution. Results are identical at any
+	// value (each parallel unit is seeded and reduced independently of
+	// completion order).
+	Workers int
 	// ClusterMap tunes the scattering ILPs.
 	ClusterMap clustermap.Options
 	// RelaxOnFailure widens the cluster restriction (memory ops first,
@@ -104,12 +113,25 @@ type Result struct {
 	ClusterMap *clustermap.Result
 	Candidates int // partitions that entered cluster mapping
 
-	Lower   LowerResult
-	Relaxed bool // cluster restriction was widened to map at all
+	Lower LowerResult
+	// Relaxed reports that the memory operations were freed from the
+	// cluster restriction (pre-emptively on bank pressure, or after a
+	// guided failure) and the reported mapping still used the remaining
+	// guidance. FellBack reports that guidance was abandoned entirely
+	// and the mapping is an unguided baseline run; the two are mutually
+	// exclusive so benchmark tables never attribute baseline results to
+	// guided mapping.
+	Relaxed  bool
+	FellBack bool
 
 	ClusteringTime time.Duration
 	ClusterMapTime time.Duration
 	LowerTime      time.Duration
+
+	// Worker-pool statistics of the two parallel stages (zero-valued
+	// for MapBaseline), so compile-time speedup is observable per run.
+	SweepStats      pool.Stats
+	ClusterMapStats pool.Stats
 }
 
 // TotalTime returns the end-to-end compilation time.
@@ -117,18 +139,37 @@ func (r *Result) TotalTime() time.Duration {
 	return r.ClusteringTime + r.ClusterMapTime + r.LowerTime
 }
 
+// GuidanceLabel names how much of the cluster restriction survived,
+// for report rendering: "guided", "relaxed" or "fallback".
+func (r *Result) GuidanceLabel() string {
+	switch {
+	case r.FellBack:
+		return "fallback"
+	case r.Relaxed:
+		return "relaxed"
+	default:
+		return "guided"
+	}
+}
+
 // DefaultMaxClusters picks m for Algorithm 1's sweep: up to twice the
 // CGRA cluster count (the paper's kernels choose K between 10 and 29 on
 // a 16-cluster target), but never so many that average cluster size
 // drops below ~6 DFG nodes — partitions of tiny fragments carry no
-// community structure for the cluster mapping to exploit.
+// community structure for the cluster mapping to exploit. The result
+// is clamped to at least max(2, R): below R column scattering has too
+// few clusters, and below 2 the "sweep" would degenerate to the whole
+// DFG in one cluster.
 func DefaultMaxClusters(d *dfg.Graph, a *arch.CGRA) int {
 	m := 2 * a.NumClusters()
-	if cap := d.NumNodes() / 6; cap < m {
-		m = cap
+	if sizeCap := d.NumNodes() / 6; sizeCap < m {
+		m = sizeCap
 	}
 	if m < a.ClusterRows {
 		m = a.ClusterRows
+	}
+	if m < 2 {
+		m = 2
 	}
 	return m
 }
@@ -138,6 +179,14 @@ func DefaultMaxClusters(d *dfg.Graph, a *arch.CGRA) int {
 // pick the mapping with the least inter-cluster routing complexity, and
 // guide the lower-level mapper with it.
 func MapPanorama(d *dfg.Graph, a *arch.CGRA, lower Lower, cfg Config) (*Result, error) {
+	return MapPanoramaCtx(context.Background(), d, a, lower, cfg)
+}
+
+// MapPanoramaCtx is MapPanorama with cancellation. The clustering
+// sweep and the per-candidate cluster mapping fan out over a worker
+// pool bounded by cfg.Workers; the lower-level mapper receives ctx and
+// aborts its II search once the context fires.
+func MapPanoramaCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, lower Lower, cfg Config) (*Result, error) {
 	if err := d.Freeze(); err != nil {
 		return nil, err
 	}
@@ -150,9 +199,10 @@ func MapPanorama(d *dfg.Graph, a *arch.CGRA, lower Lower, cfg Config) (*Result, 
 	}
 	res := &Result{Kernel: d.Name}
 
-	// Lines 1-4: clustering sweep k = R .. m.
+	// Lines 1-4: clustering sweep k = R .. m. One eigendecomposition,
+	// k-means fanned out per k.
 	t0 := time.Now()
-	parts, err := spectral.Sweep(d, r, cfg.MaxDFGClusters, cfg.Seed)
+	parts, sweepStats, err := spectral.SweepCtx(ctx, d, r, cfg.MaxDFGClusters, cfg.Seed, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: clustering: %w", err)
 	}
@@ -168,6 +218,7 @@ func MapPanorama(d *dfg.Graph, a *arch.CGRA, lower Lower, cfg Config) (*Result, 
 	}
 	top := spectral.TopBalanced(usable, cfg.TopPartitions)
 	res.ClusteringTime = time.Since(t0)
+	res.SweepStats = sweepStats
 	res.Candidates = len(top)
 
 	// Lines 5-9: cluster-map each candidate with ζ escalation; keep the
@@ -184,10 +235,12 @@ func MapPanorama(d *dfg.Graph, a *arch.CGRA, lower Lower, cfg Config) (*Result, 
 		cmOpts.MemCapacity = memPer * (mii + 1)
 	}
 	t1 := time.Now()
-	var best *clustermap.Result
-	var bestPart *spectral.Partition
-	for _, p := range top {
-		cdg := spectral.BuildCDG(d, p)
+	// The candidates are independent ILP solves: fan them out and
+	// reduce in candidate order, so the winner is the same one the
+	// serial loop would pick regardless of completion order.
+	cms := make([]*clustermap.Result, len(top))
+	cmStats, err := pool.Run(ctx, cfg.Workers, len(top), func(i int) error {
+		cdg := spectral.BuildCDG(d, top[i])
 		cm, err := clustermap.MapWithEscalation(cdg, r, c, cmOpts)
 		if err != nil {
 			// Capacity can be unsatisfiable for very lumpy partitions;
@@ -197,13 +250,26 @@ func MapPanorama(d *dfg.Graph, a *arch.CGRA, lower Lower, cfg Config) (*Result, 
 			cm, err = clustermap.MapWithEscalation(cdg, r, c, relaxed)
 		}
 		if err != nil {
+			return nil // infeasible candidate, not a pipeline error
+		}
+		cms[i] = cm
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: cluster mapping: %w", err)
+	}
+	var best *clustermap.Result
+	var bestPart *spectral.Partition
+	for i, cm := range cms {
+		if cm == nil {
 			continue
 		}
 		if best == nil || less(cm, best) {
-			best, bestPart = cm, p
+			best, bestPart = cm, top[i]
 		}
 	}
 	res.ClusterMapTime = time.Since(t1)
+	res.ClusterMapStats = cmStats
 	if best == nil {
 		return nil, fmt.Errorf("core: cluster mapping failed for all %d candidate partitions", len(top))
 	}
@@ -222,7 +288,7 @@ func MapPanorama(d *dfg.Graph, a *arch.CGRA, lower Lower, cfg Config) (*Result, 
 		res.Relaxed = true
 	}
 	t2 := time.Now()
-	low, err := lower.Map(d, a, allowed)
+	low, err := lower.Map(ctx, d, a, allowed)
 	if err != nil {
 		return nil, err
 	}
@@ -230,16 +296,20 @@ func MapPanorama(d *dfg.Graph, a *arch.CGRA, lower Lower, cfg Config) (*Result, 
 		// First widen memory ops (bank pressure is the usual culprit),
 		// then drop guidance entirely.
 		relaxed := relaxMemOps(d, allowed)
-		low, err = lower.Map(d, a, relaxed)
+		low, err = lower.Map(ctx, d, a, relaxed)
 		if err != nil {
 			return nil, err
 		}
 		res.Relaxed = true
 		if !low.Success {
-			low, err = lower.Map(d, a, nil)
+			low, err = lower.Map(ctx, d, a, nil)
 			if err != nil {
 				return nil, err
 			}
+			// The reported mapping carries no guidance at all: this is
+			// a baseline run, not a relaxed guided one.
+			res.Relaxed = false
+			res.FellBack = true
 		}
 	}
 	res.LowerTime = time.Since(t2)
@@ -304,34 +374,122 @@ func withNeighbors(a *arch.CGRA, cids []int) []int {
 }
 
 // memBound returns the per-cluster memory-pressure lower bound on II
-// implied by a cluster restriction: memory ops pinned to one cluster
-// compete for its memory-capable PEs.
+// implied by a cluster restriction: every memory op needs a memory-PE
+// slot in one of its allowed clusters, and a cluster with M memory PEs
+// offers M slots per II cycle. The bound is the smallest b for which
+// all memory ops can be assigned to allowed clusters with no cluster
+// receiving more than b*M ops — a min-load (fractional spread)
+// assignment over the actual allowed sets, not just singletons, so
+// bank saturation is detected even though AllowedClusters always
+// widens memory ops to their neighbour clusters.
 func memBound(d *dfg.Graph, a *arch.CGRA, allowed [][]int) int {
-	memLoad := make([]int, a.NumClusters())
-	for v, cids := range allowed {
-		if len(cids) == 1 && d.Nodes[v].Op.IsMem() {
-			memLoad[cids[0]]++
-		}
-	}
-	bound := 1
+	// Collect each memory op's set of allowed clusters that actually
+	// own memory PEs (an unrestricted op may use any such cluster).
+	mems := make([]int, a.NumClusters())
+	var memClusters []int
 	for cid := 0; cid < a.NumClusters(); cid++ {
-		mems := 0
 		for _, pe := range a.PEsInCluster(cid) {
 			if a.PEs[pe].MemCapable {
-				mems++
+				mems[cid]++
 			}
 		}
-		if mems == 0 {
-			if memLoad[cid] > 0 {
-				return 1 << 20
-			}
-			continue
-		}
-		if b := (memLoad[cid] + mems - 1) / mems; b > bound {
-			bound = b
+		if mems[cid] > 0 {
+			memClusters = append(memClusters, cid)
 		}
 	}
-	return bound
+	var ops [][]int // per memory op: allowed clusters with memory PEs
+	for v, cids := range allowed {
+		if !d.Nodes[v].Op.IsMem() {
+			continue
+		}
+		var usable []int
+		if cids == nil {
+			usable = memClusters
+		} else {
+			for _, cid := range cids {
+				if mems[cid] > 0 {
+					usable = append(usable, cid)
+				}
+			}
+		}
+		if len(usable) == 0 {
+			// No memory PE reachable under the restriction: unmappable
+			// here; the caller's relaxation path deals with it.
+			return 1 << 20
+		}
+		ops = append(ops, usable)
+	}
+	if len(ops) == 0 {
+		return 1
+	}
+	// Binary-search the smallest feasible b. b = len(ops) is always
+	// feasible (each cluster in every op's set has >= 1 memory PE).
+	lo, hi := 1, len(ops)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if memAssignFeasible(ops, mems, mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// memAssignFeasible reports whether every memory op can be assigned to
+// one of its allowed clusters with cluster cid receiving at most
+// b*mems[cid] ops — bipartite matching with cluster capacities, via
+// Kuhn-style augmenting paths (ops are unit demands; instances are
+// tiny: tens of ops, at most a few dozen clusters).
+func memAssignFeasible(ops [][]int, mems []int, b int) bool {
+	capLeft := make([]int, len(mems))
+	for cid, m := range mems {
+		capLeft[cid] = b * m
+	}
+	assign := make([]int, len(ops)) // op -> cluster
+	for i := range assign {
+		assign[i] = -1
+	}
+	byCluster := make([][]int, len(mems)) // cluster -> assigned ops
+	var augment func(op int, visited []bool) bool
+	augment = func(op int, visited []bool) bool {
+		for _, cid := range ops[op] {
+			if visited[cid] {
+				continue
+			}
+			visited[cid] = true
+			if capLeft[cid] > 0 {
+				capLeft[cid]--
+				assign[op] = cid
+				byCluster[cid] = append(byCluster[cid], op)
+				return true
+			}
+			// Cluster full: try to evict one of its ops elsewhere.
+			for _, other := range byCluster[cid] {
+				if augment(other, visited) {
+					// other moved away; take its slot.
+					out := byCluster[cid][:0]
+					for _, o := range byCluster[cid] {
+						if o != other {
+							out = append(out, o)
+						}
+					}
+					byCluster[cid] = out
+					assign[op] = cid
+					byCluster[cid] = append(byCluster[cid], op)
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for op := range ops {
+		visited := make([]bool, len(mems))
+		if !augment(op, visited) {
+			return false
+		}
+	}
+	return true
 }
 
 // relaxMemOps returns a copy of the restriction with memory operations
@@ -350,12 +508,17 @@ func relaxMemOps(d *dfg.Graph, allowed [][]int) [][]int {
 // MapBaseline runs the unguided lower-level mapper (the paper's SPR*
 // and Ultra-Fast baselines).
 func MapBaseline(d *dfg.Graph, a *arch.CGRA, lower Lower) (*Result, error) {
+	return MapBaselineCtx(context.Background(), d, a, lower)
+}
+
+// MapBaselineCtx is MapBaseline with cancellation.
+func MapBaselineCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, lower Lower) (*Result, error) {
 	if err := d.Freeze(); err != nil {
 		return nil, err
 	}
 	res := &Result{Kernel: d.Name}
 	t := time.Now()
-	low, err := lower.Map(d, a, nil)
+	low, err := lower.Map(ctx, d, a, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,145 @@
+// Package pool is the shared bounded worker pool behind every
+// parallel stage of the Panorama pipeline: the spectral k-sweep, the
+// per-candidate cluster-mapping fan-out, and the benchmark harness's
+// kernel×mapper×arch grid. Tasks are identified by a dense index so
+// callers write results into caller-owned slices at that index —
+// output order is therefore independent of completion order, which is
+// what keeps the parallel pipeline bit-identical to the serial one.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats describes one pool run, so callers can surface observed
+// parallelism (Busy/Wall approaches Workers when the pool is
+// saturated).
+type Stats struct {
+	Workers int           // goroutines actually started
+	Tasks   int           // tasks completed (not skipped by cancellation)
+	Wall    time.Duration // wall-clock time of the whole run
+	Busy    time.Duration // summed task execution time across workers
+}
+
+// Speedup returns Busy/Wall — the effective parallelism of the run
+// (1.0 for a serial run, up to Workers when fully saturated).
+func (s Stats) Speedup() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Busy) / float64(s.Wall)
+}
+
+// DefaultWorkers is the worker count used when a caller passes
+// workers <= 0: one per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Clamp normalises a worker-count knob: non-positive means
+// DefaultWorkers, and the count never exceeds n (no idle goroutines).
+func Clamp(workers, n int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Run executes fn(i) for every i in [0, n) on at most workers
+// goroutines (workers <= 0 means DefaultWorkers). Indices are handed
+// out in order; fn must be safe for concurrent invocation and should
+// write its result into a caller-owned slice at index i.
+//
+// Cancellation: when ctx is cancelled or a task fails, remaining
+// undispatched indices are skipped. In-flight tasks run to completion
+// (fn observes ctx itself for finer-grained cancellation). Among all
+// failures, the error of the lowest index is returned, so the reported
+// error does not depend on goroutine scheduling; a ctx error is
+// returned only when no task error occurred.
+func Run(ctx context.Context, workers, n int, fn func(i int) error) (Stats, error) {
+	stats := Stats{}
+	if n <= 0 {
+		return stats, ctx.Err()
+	}
+	workers = Clamp(workers, n)
+	stats.Workers = workers
+	start := time.Now()
+
+	if workers == 1 {
+		// Serial fast path: no goroutines, no atomics — this is the
+		// reference execution the parallel path must match.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				stats.Wall = time.Since(start)
+				return stats, err
+			}
+			t0 := time.Now()
+			err := fn(i)
+			stats.Busy += time.Since(t0)
+			stats.Tasks++
+			if err != nil {
+				stats.Wall = time.Since(start)
+				return stats, err
+			}
+		}
+		stats.Wall = time.Since(start)
+		return stats, nil
+	}
+
+	var (
+		next     atomic.Int64
+		busyNS   atomic.Int64
+		tasks    atomic.Int64
+		failed   atomic.Bool
+		mu       sync.Mutex
+		errIdx   = -1
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if errIdx < 0 || i < errIdx {
+			errIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				t0 := time.Now()
+				err := fn(i)
+				busyNS.Add(int64(time.Since(t0)))
+				tasks.Add(1)
+				if err != nil {
+					record(i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	stats.Wall = time.Since(start)
+	stats.Busy = time.Duration(busyNS.Load())
+	stats.Tasks = int(tasks.Load())
+	if firstErr != nil {
+		return stats, firstErr
+	}
+	return stats, ctx.Err()
+}

@@ -1,0 +1,119 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 53
+		seen := make([]atomic.Bool, n)
+		stats, err := Run(context.Background(), workers, n, func(i int) error {
+			if seen[i].Swap(true) {
+				t.Errorf("index %d executed twice", i)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range seen {
+			if !seen[i].Load() {
+				t.Fatalf("workers=%d: index %d never executed", workers, i)
+			}
+		}
+		if stats.Tasks != n {
+			t.Fatalf("workers=%d: Tasks=%d, want %d", workers, stats.Tasks, n)
+		}
+		if stats.Workers > n {
+			t.Fatalf("workers=%d: started %d workers for %d tasks", workers, stats.Workers, n)
+		}
+	}
+}
+
+func TestRunReturnsLowestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	_, err := Run(context.Background(), 4, 16, func(i int) error {
+		switch i {
+		case 3:
+			return errA
+		case 11:
+			time.Sleep(time.Millisecond)
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want the lowest-index failure", err)
+	}
+}
+
+func TestRunSkipsAfterFailure(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	_, err := Run(context.Background(), 1, 100, func(i int) error {
+		ran.Add(1)
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 3 {
+		t.Fatalf("serial run executed %d tasks after failure at index 2", ran.Load())
+	}
+}
+
+func TestRunHonoursContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := Run(ctx, 4, 100, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d tasks ran under a cancelled context", ran.Load())
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	stats, err := Run(context.Background(), 4, 0, func(int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	})
+	if err != nil || stats.Tasks != 0 {
+		t.Fatalf("stats=%+v err=%v", stats, err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(0, 100) != DefaultWorkers() {
+		t.Fatal("0 must mean DefaultWorkers")
+	}
+	if Clamp(8, 3) != 3 {
+		t.Fatal("workers must not exceed task count")
+	}
+	if Clamp(-1, 0) != 1 {
+		t.Fatal("floor is 1")
+	}
+}
+
+func TestStatsSpeedup(t *testing.T) {
+	s := Stats{Wall: time.Second, Busy: 3 * time.Second}
+	if s.Speedup() != 3 {
+		t.Fatalf("speedup = %v", s.Speedup())
+	}
+	if (Stats{}).Speedup() != 0 {
+		t.Fatal("zero stats must not divide by zero")
+	}
+}

@@ -6,6 +6,7 @@
 package spectral
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -13,6 +14,7 @@ import (
 	"panorama/internal/dfg"
 	"panorama/internal/kmeans"
 	"panorama/internal/linalg"
+	"panorama/internal/pool"
 )
 
 // Partition is one clustering solution of a DFG.
@@ -158,8 +160,23 @@ func imbalance(sizes []int, total int) float64 {
 
 // Sweep clusters the DFG for every k in [kMin, kMax] (clamped to the
 // node count) and returns the partitions in ascending k order. This is
-// lines 1-4 of the paper's Algorithm 1.
+// lines 1-4 of the paper's Algorithm 1. It runs the k-means stage on
+// every available CPU; use SweepCtx for explicit worker and
+// cancellation control.
 func Sweep(g *dfg.Graph, kMin, kMax int, seed int64) ([]*Partition, error) {
+	parts, _, err := SweepCtx(context.Background(), g, kMin, kMax, seed, 0)
+	return parts, err
+}
+
+// SweepCtx is Sweep with cancellation, a bounded worker pool
+// (workers <= 0 means one per CPU), and the pool statistics of the
+// fan-out. The Laplacian eigendecomposition — the sweep's shared
+// prefix — is computed exactly once; only the per-k k-means stage fans
+// out. Each k clusters with the seed seed+k, exactly as the serial
+// loop always has, so the result is bit-identical at any worker count:
+// the output slice is ordered by k and each entry depends only on
+// (embedding, k, seed).
+func SweepCtx(ctx context.Context, g *dfg.Graph, kMin, kMax int, seed int64, workers int) ([]*Partition, pool.Stats, error) {
 	if kMin < 1 {
 		kMin = 1
 	}
@@ -167,21 +184,26 @@ func Sweep(g *dfg.Graph, kMin, kMax int, seed int64) ([]*Partition, error) {
 		kMax = g.NumNodes()
 	}
 	if kMin > kMax {
-		return nil, fmt.Errorf("spectral: empty sweep range [%d,%d]", kMin, kMax)
+		return nil, pool.Stats{}, fmt.Errorf("spectral: empty sweep range [%d,%d]", kMin, kMax)
 	}
 	em, err := NewEmbedder(g)
 	if err != nil {
-		return nil, err
+		return nil, pool.Stats{}, err
 	}
-	parts := make([]*Partition, 0, kMax-kMin+1)
-	for k := kMin; k <= kMax; k++ {
+	parts := make([]*Partition, kMax-kMin+1)
+	stats, err := pool.Run(ctx, workers, len(parts), func(i int) error {
+		k := kMin + i
 		p, err := em.Cluster(k, seed+int64(k))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		parts = append(parts, p)
+		parts[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
 	}
-	return parts, nil
+	return parts, stats, nil
 }
 
 // TopBalanced returns the n partitions with the lowest imbalance factor

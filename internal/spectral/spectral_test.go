@@ -1,6 +1,7 @@
 package spectral
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -238,6 +239,45 @@ func TestCDGConsistentWithPartitionStats(t *testing.T) {
 	}
 	if total != g.NumNodes() {
 		t.Fatalf("members cover %d of %d nodes", total, g.NumNodes())
+	}
+}
+
+func TestSweepCtxParallelMatchesSerial(t *testing.T) {
+	g := twoCommunities(8)
+	serial, _, err := SweepCtx(context.Background(), g, 2, 6, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, stats, err := SweepCtx(context.Background(), g, 2, 6, 9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("lengths differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.K != p.K || s.InterE != p.InterE || s.IntraE != p.IntraE || s.IF != p.IF {
+			t.Fatalf("partition %d stats differ: %+v vs %+v", i, s, p)
+		}
+		for v := range s.Assign {
+			if s.Assign[v] != p.Assign[v] {
+				t.Fatalf("partition %d: node %d assigned %d serially, %d in parallel",
+					i, v, s.Assign[v], p.Assign[v])
+			}
+		}
+	}
+	if stats.Tasks != len(serial) {
+		t.Fatalf("pool ran %d tasks, want %d", stats.Tasks, len(serial))
+	}
+}
+
+func TestSweepCtxCancelled(t *testing.T) {
+	g := twoCommunities(6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := SweepCtx(ctx, g, 2, 5, 1, 2); err == nil {
+		t.Fatal("cancelled sweep must fail")
 	}
 }
 

@@ -12,6 +12,7 @@
 package spr
 
 import (
+	"context"
 	"fmt"
 
 	"panorama/internal/arch"
@@ -110,6 +111,14 @@ func (r *Result) QoM() float64 {
 // place, route with PathFinder, and repair with simulated annealing;
 // stop at the first II that routes without resource overuse.
 func Map(d *dfg.Graph, a *arch.CGRA, opts Options) (*Result, error) {
+	return MapCtx(context.Background(), d, a, opts)
+}
+
+// MapCtx is Map with cancellation: the context is checked between II
+// attempts and annealing restarts (the units of work that bound how
+// long a runaway search can continue past cancellation), and
+// ctx.Err() is returned once it fires.
+func MapCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, opts Options) (*Result, error) {
 	if err := d.Freeze(); err != nil {
 		return nil, err
 	}
@@ -150,6 +159,9 @@ func Map(d *dfg.Graph, a *arch.CGRA, opts Options) (*Result, error) {
 		// different annealing trajectory before the II escalates.
 		const maxRestarts = 3
 		for restart := 0; restart < maxRestarts; restart++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			att, st, err := attemptII(d, a, ii, restart, &opts)
 			if err != nil {
 				return nil, err

@@ -19,6 +19,7 @@
 package ultrafast
 
 import (
+	"context"
 	"fmt"
 
 	"panorama/internal/arch"
@@ -69,6 +70,12 @@ func (r *Result) QoM() float64 {
 // Map greedily modulo-schedules the DFG, escalating II until the
 // first-fit placement succeeds.
 func Map(d *dfg.Graph, a *arch.CGRA, opts Options) (*Result, error) {
+	return MapCtx(context.Background(), d, a, opts)
+}
+
+// MapCtx is Map with cancellation, checked between II attempts (each
+// attempt is a single greedy pass and completes quickly).
+func MapCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, opts Options) (*Result, error) {
 	if err := d.Freeze(); err != nil {
 		return nil, err
 	}
@@ -86,6 +93,9 @@ func Map(d *dfg.Graph, a *arch.CGRA, opts Options) (*Result, error) {
 	}
 	res := &Result{MII: mii}
 	for ii := mii; ii <= maxII; ii++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if m, ok := attempt(d, a, ii, &opts); ok {
 			res.Success = true
 			res.II = ii

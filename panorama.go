@@ -17,6 +17,7 @@
 package panorama
 
 import (
+	"context"
 	"fmt"
 
 	"panorama/internal/arch"
@@ -117,6 +118,21 @@ func MapPanSPR(d *DFG, a *CGRA, seed int64) (*Result, error) {
 // MapPanSPRWith runs Pan-SPR* with explicit options.
 func MapPanSPRWith(d *DFG, a *CGRA, cfg Config, opts SPROptions) (*Result, error) {
 	return core.MapPanorama(d, a, core.SPRLower{Options: opts}, cfg)
+}
+
+// MapPanSPRCtx is MapPanSPRWith with cancellation: the clustering
+// sweep, the candidate cluster mappings and the lower-level mapper's II
+// search all stop once ctx fires. Set cfg.Workers to bound the
+// pipeline's worker pool (0 = one per CPU, 1 = serial); results are
+// identical at any worker count.
+func MapPanSPRCtx(ctx context.Context, d *DFG, a *CGRA, cfg Config, opts SPROptions) (*Result, error) {
+	return core.MapPanoramaCtx(ctx, d, a, core.SPRLower{Options: opts}, cfg)
+}
+
+// MapPanUltraFastCtx is the cancellable, worker-pool-aware variant of
+// MapPanUltraFast with explicit options.
+func MapPanUltraFastCtx(ctx context.Context, d *DFG, a *CGRA, cfg Config, opts UltraFastOptions) (*Result, error) {
+	return core.MapPanoramaCtx(ctx, d, a, core.UltraFastLower{Options: opts}, cfg)
 }
 
 // MapSPR runs the unguided SPR* baseline.
