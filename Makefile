@@ -1,11 +1,19 @@
 GO ?= go
 
-.PHONY: check build test vet race bench
+.PHONY: check build test vet race bench check-fault
 
 # The repository's verification gate: vet, build everything, then the
 # full test suite with the race detector (the parallel pipeline and
-# harness paths all run under it).
-check: vet build race
+# harness paths all run under it), plus the fault-injection matrix.
+check: vet build race check-fault
+
+# The fault matrix: every failure site (eigensolve, k-means, ILP,
+# greedy, lower mapper) is armed in turn and the pipeline must degrade
+# or abort with the documented typed error, under the race detector.
+check-fault:
+	$(GO) test -race ./internal/faultinject/ ./internal/failure/
+	$(GO) test -race -run 'TestFaultMatrix|TestRealBudgets|TestILPToGreedyRung|TestGreedyFailureIsTyped|TestRunRecoversPanics' \
+		./internal/core/ ./internal/clustermap/ ./internal/pool/
 
 build:
 	$(GO) build ./...

@@ -28,6 +28,7 @@ func main() {
 		ablation = flag.Bool("ablations", false, "run the ablation suite")
 		seed     = flag.Int64("seed", 1, "random seed")
 		workers  = flag.Int("j", 0, "worker pool size for the harness (0 = one per CPU, 1 = serial)")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget per configuration, e.g. 2m (0 = unbounded); a run that exceeds it keeps its table row, marked (timeout)")
 	)
 	flag.Parse()
 
@@ -37,6 +38,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.Timeout = *timeout
 	smallName, bigName := "4x4", "8x8"
 	if *full {
 		smallName, bigName = "9x9", "16x16"

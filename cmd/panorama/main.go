@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,6 +20,7 @@ import (
 	"panorama/internal/config"
 	"panorama/internal/core"
 	"panorama/internal/dfg"
+	"panorama/internal/failure"
 	"panorama/internal/kernels"
 	"panorama/internal/sim"
 	"panorama/internal/spr"
@@ -35,6 +37,7 @@ func main() {
 		mapper     = flag.String("mapper", "pan-spr", "mapper: spr, pan-spr, ultrafast, pan-ultrafast")
 		seed       = flag.Int64("seed", 1, "random seed")
 		workers    = flag.Int("j", 0, "pipeline worker pool size (0 = one per CPU, 1 = serial); pan mappers only")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the whole mapping, e.g. 30s (0 = unbounded); on expiry the best partial result and the exhausted stage are reported")
 		list       = flag.Bool("list", false, "list benchmark kernels and exit")
 		showSched  = flag.Bool("show-schedule", false, "print the time-extended schedule (SPR mappers)")
 		showClus   = flag.Bool("show-clusters", true, "print the cluster mapping grid (pan mappers)")
@@ -66,29 +69,40 @@ func main() {
 		g.Name, stats.Nodes, stats.Edges, stats.MaxDegree, stats.RecMII)
 	fmt.Printf("target %s, MII %d\n\n", a, a.MII(g))
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	start := time.Now()
 	var res *core.Result
 	var sprRes *spr.Result
 	switch *mapper {
 	case "spr":
 		sprOpts := spr.Options{Seed: *seed}
-		sprRes, err = spr.Map(g, a, sprOpts)
+		sprRes, err = spr.MapCtx(ctx, g, a, sprOpts)
 		if err == nil {
 			res = &core.Result{Kernel: g.Name, Lower: core.LowerResult{
 				Success: sprRes.Success, MII: sprRes.MII, II: sprRes.II, QoM: sprRes.QoM()}}
 		}
 	case "pan-spr":
-		res, err = core.MapPanorama(g, a, core.SPRLower{Options: spr.Options{Seed: *seed}},
+		res, err = core.MapPanoramaCtx(ctx, g, a, core.SPRLower{Options: spr.Options{Seed: *seed}},
 			core.Config{Seed: *seed, RelaxOnFailure: true, Workers: *workers})
 	case "ultrafast":
-		res, err = core.MapBaseline(g, a, core.UltraFastLower{})
+		res, err = core.MapBaselineCtx(ctx, g, a, core.UltraFastLower{})
 	case "pan-ultrafast":
-		res, err = core.MapPanorama(g, a, core.UltraFastLower{},
+		res, err = core.MapPanoramaCtx(ctx, g, a, core.UltraFastLower{},
 			core.Config{Seed: *seed, RelaxOnFailure: true, Workers: *workers})
 	default:
 		err = fmt.Errorf("unknown mapper %q", *mapper)
 	}
 	if err != nil {
+		if res != nil {
+			reportPartial(res, err, time.Since(start))
+			os.Exit(2)
+		}
 		fatal(err)
 	}
 	elapsed := time.Since(start)
@@ -156,6 +170,39 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote mapping + configuration program to %s\n", *outFile)
+	}
+}
+
+// reportPartial prints whatever the pipeline completed before a typed
+// failure ended the run: the stage that exhausted the budget (or
+// failed), per-stage wall times, and the best partial mapping.
+func reportPartial(res *core.Result, err error, elapsed time.Duration) {
+	switch {
+	case res.Provenance.BudgetStage != "":
+		fmt.Printf("budget exhausted in the %s stage after %v: %v\n",
+			res.Provenance.BudgetStage, elapsed.Round(time.Millisecond), err)
+	case failure.StageOf(err) != "":
+		fmt.Printf("%s stage failed after %v: %v\n",
+			failure.StageOf(err), elapsed.Round(time.Millisecond), err)
+	default:
+		fmt.Printf("mapping failed after %v: %v\n", elapsed.Round(time.Millisecond), err)
+	}
+	for _, s := range res.Provenance.Stages {
+		note := ""
+		if s.Note != "" {
+			note = "  (" + s.Note + ")"
+		}
+		fmt.Printf("  %-12s %v%s\n", s.Stage, s.Wall.Round(time.Millisecond), note)
+	}
+	if res.Partition == nil {
+		fmt.Println("no partial result survived")
+		return
+	}
+	fmt.Printf("best partial: clustering K=%d, Inter-E=%d, Intra-E=%d, IF=%.2f\n",
+		res.Partition.K, res.Partition.InterE, res.Partition.IntraE, res.Partition.IF)
+	if res.ClusterMap != nil {
+		fmt.Println("cluster mapping (CDG nodes per CGRA cluster):")
+		fmt.Println(viz.ClusterGrid(res.ClusterMap))
 	}
 }
 

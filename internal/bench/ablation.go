@@ -24,14 +24,14 @@ type AblationRow struct {
 // quantity the clustering stage is supposed to minimise.
 func AblationClustering(cfg Config) ([]AblationRow, error) {
 	a := cfg.Arch()
-	return mapOrdered(cfg, len(cfg.Fig5Kernels), func(i int) (AblationRow, error) {
+	return mapOrdered(cfg, len(cfg.Fig5Kernels), func(ctx context.Context, i int) (AblationRow, error) {
 		name := cfg.Fig5Kernels[i]
 		g, err := cfg.buildKernel(name)
 		if err != nil {
 			return AblationRow{}, err
 		}
 		// Serial inner sweep: the harness pool already spans kernels.
-		parts, _, err := spectral.SweepCtx(context.Background(), g, a.ClusterRows, core.DefaultMaxClusters(g, a), cfg.Seed, 1)
+		parts, _, err := spectral.SweepCtx(ctx, g, a.ClusterRows, core.DefaultMaxClusters(g, a), cfg.Seed, 1)
 		if err != nil {
 			return AblationRow{}, err
 		}
@@ -132,26 +132,26 @@ func partitionFromAssign(ag adjGraph, assign []int, k int) *spectral.Partition {
 // constraints.
 func AblationMatchingCut(cfg Config) ([]AblationRow, error) {
 	a := cfg.Arch()
-	return mapOrdered(cfg, len(cfg.Fig5Kernels), func(i int) (AblationRow, error) {
+	return mapOrdered(cfg, len(cfg.Fig5Kernels), func(ctx context.Context, i int) (AblationRow, error) {
 		name := cfg.Fig5Kernels[i]
 		g, err := cfg.buildKernel(name)
 		if err != nil {
 			return AblationRow{}, err
 		}
-		parts, _, err := spectral.SweepCtx(context.Background(), g, a.ClusterRows, core.DefaultMaxClusters(g, a), cfg.Seed, 1)
+		parts, _, err := spectral.SweepCtx(ctx, g, a.ClusterRows, core.DefaultMaxClusters(g, a), cfg.Seed, 1)
 		if err != nil {
 			return AblationRow{}, err
 		}
 		best := spectral.TopBalanced(parts, 1)[0]
 		cdg := spectral.BuildCDG(g, best)
 
-		with, err := clustermap.MapWithEscalation(cdg, a.ClusterRows, a.ClusterCols, cfg.ClusterMap)
+		with, err := clustermap.MapWithEscalationCtx(ctx, cdg, a.ClusterRows, a.ClusterCols, cfg.ClusterMap)
 		if err != nil {
 			return AblationRow{}, err
 		}
 		ablOpts := cfg.ClusterMap
 		ablOpts.DisableMatchingCut = true
-		without, err := clustermap.MapWithEscalation(cdg, a.ClusterRows, a.ClusterCols, ablOpts)
+		without, err := clustermap.MapWithEscalationCtx(ctx, cdg, a.ClusterRows, a.ClusterCols, ablOpts)
 		if err != nil {
 			return AblationRow{}, err
 		}
@@ -170,7 +170,7 @@ func AblationMatchingCut(cfg Config) ([]AblationRow, error) {
 func AblationTop3(cfg Config) ([]AblationRow, error) {
 	a := cfg.Arch()
 	lower := cfg.sprLower()
-	return mapOrdered(cfg, len(cfg.Fig5Kernels), func(i int) (AblationRow, error) {
+	return mapOrdered(cfg, len(cfg.Fig5Kernels), func(ctx context.Context, i int) (AblationRow, error) {
 		name := cfg.Fig5Kernels[i]
 		g, err := cfg.buildKernel(name)
 		if err != nil {
@@ -178,13 +178,13 @@ func AblationTop3(cfg Config) ([]AblationRow, error) {
 		}
 		top3Cfg := cfg.panoramaConfig()
 		top3Cfg.TopPartitions = 3
-		res3, err := core.MapPanorama(g, a, lower, top3Cfg)
+		res3, err := core.MapPanoramaCtx(ctx, g, a, lower, top3Cfg)
 		if err != nil {
 			return AblationRow{}, err
 		}
 		top1Cfg := cfg.panoramaConfig()
 		top1Cfg.TopPartitions = 1
-		res1, err := core.MapPanorama(g, a, lower, top1Cfg)
+		res1, err := core.MapPanoramaCtx(ctx, g, a, lower, top1Cfg)
 		if err != nil {
 			return AblationRow{}, err
 		}

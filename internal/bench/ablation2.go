@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"panorama/internal/arch"
@@ -22,17 +23,17 @@ func AblationExpressLinks(cfg Config) ([]AblationRow, error) {
 		return nil, err
 	}
 	lower := cfg.sprLower()
-	return mapOrdered(cfg, len(cfg.Fig5Kernels), func(i int) (AblationRow, error) {
+	return mapOrdered(cfg, len(cfg.Fig5Kernels), func(ctx context.Context, i int) (AblationRow, error) {
 		name := cfg.Fig5Kernels[i]
 		g, err := cfg.buildKernel(name)
 		if err != nil {
 			return AblationRow{}, err
 		}
-		resWith, err := core.MapPanorama(g, with, lower, cfg.panoramaConfig())
+		resWith, err := core.MapPanoramaCtx(ctx, g, with, lower, cfg.panoramaConfig())
 		if err != nil {
 			return AblationRow{}, err
 		}
-		resWithout, err := core.MapPanorama(g, without, lower, cfg.panoramaConfig())
+		resWithout, err := core.MapPanoramaCtx(ctx, g, without, lower, cfg.panoramaConfig())
 		if err != nil {
 			return AblationRow{}, err
 		}
@@ -75,14 +76,14 @@ func SeedStudy(cfg Config, seeds []int64) ([]SeedStudyRow, error) {
 			runs = append(runs, runKey{ki, seed})
 		}
 	}
-	iis, err := mapOrdered(cfg, len(runs), func(i int) (int, error) {
+	iis, err := mapOrdered(cfg, len(runs), func(ctx context.Context, i int) (int, error) {
 		r := runs[i]
 		name := cfg.Fig5Kernels[r.kernel]
 		g, err := cfg.buildKernel(name)
 		if err != nil {
 			return 0, err
 		}
-		res, err := spr.Map(g, a, spr.Options{Seed: r.seed})
+		res, err := spr.MapCtx(ctx, g, a, spr.Options{Seed: r.seed})
 		if err != nil {
 			return 0, fmt.Errorf("%s seed %d: %w", name, r.seed, err)
 		}

@@ -11,6 +11,8 @@
 package bench
 
 import (
+	"time"
+
 	"panorama/internal/arch"
 	"panorama/internal/clustermap"
 	"panorama/internal/core"
@@ -38,6 +40,13 @@ type Config struct {
 	// configuration is an independent seeded run whose result lands at
 	// a fixed row index.
 	Workers int
+
+	// Timeout caps the wall clock of each individual configuration
+	// (one kernel×mapper×arch run); 0 means unbounded. A run that
+	// exceeds it appears in its table as an explicit "timeout" row
+	// rather than aborting the whole harness, so row counts stay
+	// stable whatever times out.
+	Timeout time.Duration
 
 	SPR        spr.Options
 	UltraFast  ultrafast.Options

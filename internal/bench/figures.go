@@ -23,13 +23,13 @@ func Figure5(cfg Config) ([]Fig5Series, error) {
 	a := cfg.Arch()
 	kMin := a.ClusterRows
 	kMax := 2 * a.NumClusters()
-	return mapOrdered(cfg, len(cfg.Fig5Kernels), func(i int) (Fig5Series, error) {
+	return mapOrdered(cfg, len(cfg.Fig5Kernels), func(ctx context.Context, i int) (Fig5Series, error) {
 		name := cfg.Fig5Kernels[i]
 		g, err := cfg.buildKernel(name)
 		if err != nil {
 			return Fig5Series{}, err
 		}
-		parts, _, err := spectral.SweepCtx(context.Background(), g, kMin, kMax, cfg.Seed, 1)
+		parts, _, err := spectral.SweepCtx(ctx, g, kMin, kMax, cfg.Seed, 1)
 		if err != nil {
 			return Fig5Series{}, fmt.Errorf("%s: %w", name, err)
 		}
@@ -83,6 +83,11 @@ type CompareRow struct {
 	// baseline quality to guided mapping).
 	Relaxed  bool
 	FellBack bool
+	// BaseStatus/PanStatus are "" for clean runs, "timeout" when the
+	// per-configuration budget fired, "fail" on any other error; the
+	// row stays in the table either way.
+	BaseStatus string
+	PanStatus  string
 }
 
 // Figure7 compares SPR* against Pan-SPR* on every kernel.
@@ -97,32 +102,32 @@ func Figure9(cfg Config) ([]CompareRow, error) {
 
 func compare(cfg Config, lower core.Lower) ([]CompareRow, error) {
 	a := cfg.Arch()
-	return mapOrdered(cfg, len(cfg.Kernels), func(i int) (CompareRow, error) {
+	return mapOrdered(cfg, len(cfg.Kernels), func(ctx context.Context, i int) (CompareRow, error) {
 		name := cfg.Kernels[i]
 		g, err := cfg.buildKernel(name)
 		if err != nil {
 			return CompareRow{}, err
 		}
-		base, err := core.MapBaseline(g, a, lower)
-		if err != nil {
-			return CompareRow{}, fmt.Errorf("%s baseline: %w", name, err)
+		row := CompareRow{Kernel: name}
+		base, err := core.MapBaselineCtx(ctx, g, a, lower)
+		row.BaseStatus = status(ctx, err)
+		if err == nil {
+			row.MII = base.Lower.MII
+			row.BaseII = base.Lower.II
+			row.BaseQoM = base.Lower.QoM
+			row.BaseSec = base.TotalTime().Seconds()
 		}
-		pan, err := core.MapPanorama(g, a, lower, cfg.panoramaConfig())
-		if err != nil {
-			return CompareRow{}, fmt.Errorf("%s panorama: %w", name, err)
+		pan, err := core.MapPanoramaCtx(ctx, g, a, lower, cfg.panoramaConfig())
+		row.PanStatus = status(ctx, err)
+		if err == nil {
+			row.MII = pan.Lower.MII
+			row.PanII = pan.Lower.II
+			row.PanQoM = pan.Lower.QoM
+			row.PanSec = pan.TotalTime().Seconds()
+			row.Relaxed = pan.Relaxed
+			row.FellBack = pan.FellBack
 		}
-		return CompareRow{
-			Kernel:   name,
-			MII:      base.Lower.MII,
-			BaseII:   base.Lower.II,
-			PanII:    pan.Lower.II,
-			BaseQoM:  base.Lower.QoM,
-			PanQoM:   pan.Lower.QoM,
-			BaseSec:  base.TotalTime().Seconds(),
-			PanSec:   pan.TotalTime().Seconds(),
-			Relaxed:  pan.Relaxed,
-			FellBack: pan.FellBack,
-		}, nil
+		return row, nil
 	})
 }
 
@@ -136,6 +141,20 @@ func RenderCompare(rows []CompareRow, baseName, panName string) string {
 	var baseQ, panQ, baseT, panT float64
 	n := 0
 	for _, r := range rows {
+		if r.BaseStatus != "" || r.PanStatus != "" {
+			// Timeout/fail rows keep their place but report no numbers
+			// and are excluded from the averages.
+			mark := func(s string) string {
+				if s == "" {
+					return "ok"
+				}
+				return s
+			}
+			fmt.Fprintf(&b, "%-14s %4s | %5s %6s %9s | %5s %6s %9s   base=%s pan=%s\n",
+				r.Kernel, "-", "-", "-", "-", "-", "-", "-",
+				mark(r.BaseStatus), mark(r.PanStatus))
+			continue
+		}
 		fmt.Fprintf(&b, "%-14s %4d | %5d %6.2f %8.2fs | %5d %6.2f %8.2fs\n",
 			r.Kernel, r.MII, r.BaseII, r.BaseQoM, r.BaseSec, r.PanII, r.PanQoM, r.PanSec)
 		baseQ += r.BaseQoM
@@ -177,7 +196,7 @@ func Figure8(cfg Config) ([]Fig8Row, error) {
 	small := cfg.ArchSmall()
 	big := cfg.Arch()
 	lower := cfg.sprLower()
-	return mapOrdered(cfg, len(cfg.Fig8Kernels), func(i int) (Fig8Row, error) {
+	return mapOrdered(cfg, len(cfg.Fig8Kernels), func(ctx context.Context, i int) (Fig8Row, error) {
 		name := cfg.Fig8Kernels[i]
 		g, err := cfg.buildKernel(name)
 		if err != nil {
@@ -191,13 +210,13 @@ func Figure8(cfg Config) ([]Fig8Row, error) {
 			}
 			var ii int
 			if pan {
-				res, err := core.MapPanorama(g, a, lower, cfg.panoramaConfig())
+				res, err := core.MapPanoramaCtx(ctx, g, a, lower, cfg.panoramaConfig())
 				if err != nil || !res.Lower.Success {
 					return 0, err
 				}
 				ii = res.Lower.II
 			} else {
-				res, err := core.MapBaseline(g, a, lower)
+				res, err := core.MapBaselineCtx(ctx, g, a, lower)
 				if err != nil || !res.Lower.Success {
 					return 0, err
 				}

@@ -3,19 +3,31 @@ package bench
 import (
 	"context"
 
+	"panorama/internal/failure"
 	"panorama/internal/pool"
 )
 
-// mapOrdered runs fn(i) for every i in [0, n) through the harness's
+// mapOrdered runs fn for every i in [0, n) through the harness's
 // shared worker pool and collects the results in index order, so a
 // parallel harness run renders byte-identical tables to a serial one.
 // Each fn builds its own kernel graph (DFGs freeze lazily and must not
 // be shared across goroutines before freezing); architectures are
 // immutable after construction and may be shared.
-func mapOrdered[T any](cfg Config, n int, fn func(i int) (T, error)) ([]T, error) {
+//
+// When cfg.Timeout > 0 each configuration runs under its own deadline
+// context; fn is responsible for threading ctx into the mappers it
+// calls so a stuck configuration surfaces as a typed budget error
+// rather than hanging the harness.
+func mapOrdered[T any](cfg Config, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	_, err := pool.Run(context.Background(), cfg.Workers, n, func(i int) error {
-		v, err := fn(i)
+		ctx := context.Background()
+		if cfg.Timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+			defer cancel()
+		}
+		v, err := fn(ctx, i)
 		if err != nil {
 			return err
 		}
@@ -26,4 +38,22 @@ func mapOrdered[T any](cfg Config, n int, fn func(i int) (T, error)) ([]T, error
 		return nil, err
 	}
 	return out, nil
+}
+
+// status classifies a per-configuration error for table rendering:
+// "timeout" for budget/cancellation failures, "fail" for everything
+// else, "" for success. The context is consulted first: once the
+// configuration's deadline has fired, whatever error the pipeline
+// happened to surface (e.g. "no usable partition" from a starved
+// sweep) is a timeout, keeping the classification independent of how
+// far the run got before the deadline — and therefore of -j.
+func status(ctx context.Context, err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case ctx.Err() != nil, failure.IsBudget(err) || failure.IsCancelled(err):
+		return "timeout"
+	default:
+		return "fail"
+	}
 }

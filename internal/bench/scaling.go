@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -32,7 +33,7 @@ func Scaling(cfg Config, kernel string, scales []float64) ([]ScalingRow, error) 
 	}
 	a := cfg.Arch()
 	lower := cfg.sprLower()
-	return mapOrdered(cfg, len(scales), func(i int) (ScalingRow, error) {
+	return mapOrdered(cfg, len(scales), func(ctx context.Context, i int) (ScalingRow, error) {
 		s := scales[i]
 		scaled := cfg
 		scaled.KernelScale = s
@@ -41,13 +42,13 @@ func Scaling(cfg Config, kernel string, scales []float64) ([]ScalingRow, error) 
 			return ScalingRow{}, err
 		}
 		t0 := time.Now()
-		base, err := core.MapBaseline(g, a, lower)
+		base, err := core.MapBaselineCtx(ctx, g, a, lower)
 		if err != nil {
 			return ScalingRow{}, err
 		}
 		baseSec := time.Since(t0).Seconds()
 		t1 := time.Now()
-		pan, err := core.MapPanorama(g, a, lower, scaled.panoramaConfig())
+		pan, err := core.MapPanoramaCtx(ctx, g, a, lower, scaled.panoramaConfig())
 		if err != nil {
 			return ScalingRow{}, err
 		}

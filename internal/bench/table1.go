@@ -10,6 +10,7 @@ import (
 	"panorama/internal/clustermap"
 	"panorama/internal/core"
 	"panorama/internal/dfg"
+	"panorama/internal/failure"
 	"panorama/internal/spectral"
 	"panorama/internal/spr"
 )
@@ -33,27 +34,33 @@ type Table1aRow struct {
 	// Compilation time (seconds).
 	ClusteringSec float64
 	ClusMapSec    float64
+
+	// Status is "" for a clean row, "timeout" when the run's budget
+	// fired, "fail" for any other per-kernel failure. Failed runs
+	// still occupy their row so the table's row count is stable.
+	Status string
 }
 
 // Table1a regenerates Table 1a for every kernel in the configuration,
 // fanning the kernels out over the shared worker pool (cfg.Workers).
+// A kernel that times out (cfg.Timeout) or fails keeps its row, marked
+// by Status, instead of aborting the table.
 func Table1a(cfg Config) ([]Table1aRow, error) {
 	a := cfg.Arch()
-	return mapOrdered(cfg, len(cfg.Kernels), func(i int) (Table1aRow, error) {
+	return mapOrdered(cfg, len(cfg.Kernels), func(ctx context.Context, i int) (Table1aRow, error) {
 		name := cfg.Kernels[i]
 		g, err := cfg.buildKernel(name)
 		if err != nil {
-			return Table1aRow{}, err
+			return Table1aRow{}, err // config error: no kernel to report a row for
 		}
-		row, err := table1aRow(g, a, cfg)
-		if err != nil {
-			return Table1aRow{}, fmt.Errorf("%s: %w", name, err)
-		}
+		row, err := table1aRow(ctx, g, a, cfg)
+		row.Kernel = name
+		row.Status = status(ctx, err)
 		return row, nil
 	})
 }
 
-func table1aRow(g *dfg.Graph, a *arch.CGRA, cfg Config) (Table1aRow, error) {
+func table1aRow(ctx context.Context, g *dfg.Graph, a *arch.CGRA, cfg Config) (Table1aRow, error) {
 	stats := g.ComputeStats()
 	row := Table1aRow{
 		Kernel: g.Name,
@@ -65,7 +72,7 @@ func table1aRow(g *dfg.Graph, a *arch.CGRA, cfg Config) (Table1aRow, error) {
 	// The harness fans out across kernels; keep each kernel's sweep
 	// serial so the worker pool is not oversubscribed.
 	t0 := time.Now()
-	parts, _, err := spectral.SweepCtx(context.Background(), g, a.ClusterRows, core.DefaultMaxClusters(g, a), cfg.Seed, 1)
+	parts, _, err := spectral.SweepCtx(ctx, g, a.ClusterRows, core.DefaultMaxClusters(g, a), cfg.Seed, 1)
 	if err != nil {
 		return row, err
 	}
@@ -94,8 +101,12 @@ func table1aRow(g *dfg.Graph, a *arch.CGRA, cfg Config) (Table1aRow, error) {
 	var bestPart *spectral.Partition
 	for _, p := range top {
 		cdg := spectral.BuildCDG(g, p)
-		cm, err := clustermap.MapWithEscalation(cdg, a.ClusterRows, a.ClusterCols, cmOpts)
+		cm, err := clustermap.MapWithEscalationCtx(ctx, cdg, a.ClusterRows, a.ClusterCols, cmOpts)
 		if err != nil {
+			if failure.IsBudget(err) || failure.IsCancelled(err) {
+				row.ClusMapSec = time.Since(t1).Seconds()
+				return row, err
+			}
 			continue
 		}
 		if best == nil || cm.Score() < best.Score() {
@@ -120,7 +131,17 @@ func RenderTable1a(rows []Table1aRow) string {
 	fmt.Fprintf(&b, "%-14s %6s %6s %8s | %4s %7s %7s %6s | %-40s | %10s %8s\n",
 		"Kernel", "Nodes", "Edges", "Max Deg.", "K", "Inter-E", "Intra-E", "STD", "CDG nodes per CGRA cluster", "Clustering", "ClusMap")
 	var sumClus, sumMap float64
+	n := 0
 	for _, r := range rows {
+		if r.Status != "" {
+			// Explicit timeout/fail row: the kernel keeps its place in
+			// the table but reports no numbers, and its (partial) times
+			// are excluded from the average.
+			fmt.Fprintf(&b, "%-14s %6d %6d %8d | %4s %7s %7s %6s | %-40s | %9.2fs %7.2fs\n",
+				r.Kernel, r.Nodes, r.Edges, r.MaxDeg, "-", "-", "-", "-",
+				"("+r.Status+")", r.ClusteringSec, r.ClusMapSec)
+			continue
+		}
 		occ := make([]string, len(r.Occupancy))
 		for i, rowOcc := range r.Occupancy {
 			parts := make([]string, len(rowOcc))
@@ -134,11 +155,12 @@ func RenderTable1a(rows []Table1aRow) string {
 			strings.Join(occ, ","), r.ClusteringSec, r.ClusMapSec)
 		sumClus += r.ClusteringSec
 		sumMap += r.ClusMapSec
+		n++
 	}
-	if len(rows) > 0 {
-		n := float64(len(rows))
+	if n > 0 {
+		fn := float64(n)
 		fmt.Fprintf(&b, "%-14s %6s %6s %8s | %4s %7s %7s %6s | %-40s | %9.2fs %7.2fs\n",
-			"average", "", "", "", "", "", "", "", "", sumClus/n, sumMap/n)
+			"average", "", "", "", "", "", "", "", "", sumClus/fn, sumMap/fn)
 	}
 	return b.String()
 }

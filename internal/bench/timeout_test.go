@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTable1aTimeoutRowsAreStable runs the harness under a budget no
+// kernel can meet and checks the contract of Config.Timeout: every
+// kernel keeps its row, marked "timeout", instead of aborting the
+// table.
+func TestTable1aTimeoutRowsAreStable(t *testing.T) {
+	cfg := tiny()
+	cfg.Timeout = time.Nanosecond
+	rows, err := Table1a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cfg.Kernels) {
+		t.Fatalf("rows = %d, want %d (row count must be stable under timeouts)", len(rows), len(cfg.Kernels))
+	}
+	for _, r := range rows {
+		if r.Status != "timeout" {
+			t.Fatalf("%s: Status = %q, want %q", r.Kernel, r.Status, "timeout")
+		}
+		if r.Nodes == 0 {
+			t.Fatalf("%s: DFG stats should survive a timeout: %+v", r.Kernel, r)
+		}
+	}
+	out := RenderTable1a(rows)
+	if !strings.Contains(out, "(timeout)") {
+		t.Fatalf("render missing timeout marker:\n%s", out)
+	}
+	if strings.Contains(out, "average") {
+		t.Fatalf("all-timeout table must not report an average:\n%s", out)
+	}
+}
+
+func TestCompareTimeoutRowsAreStable(t *testing.T) {
+	cfg := tiny()
+	cfg.Kernels = []string{"fir", "cordic"}
+	cfg.Timeout = time.Nanosecond
+	rows, err := Figure9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.BaseStatus != "timeout" || r.PanStatus != "timeout" {
+			t.Fatalf("%s: statuses = %q/%q, want timeout/timeout", r.Kernel, r.BaseStatus, r.PanStatus)
+		}
+	}
+	out := RenderCompare(rows, "UF*", "Pan")
+	if !strings.Contains(out, "timeout") {
+		t.Fatalf("render missing timeout marker:\n%s", out)
+	}
+}
+
+// TestTimeoutZeroIsUnbounded pins the default: without a Timeout the
+// harness behaves exactly as before (clean rows, empty statuses).
+func TestTimeoutZeroIsUnbounded(t *testing.T) {
+	cfg := tiny()
+	cfg.Kernels = []string{"fir"}
+	rows, err := Table1a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Status != "" {
+		t.Fatalf("rows = %+v, want one clean row", rows)
+	}
+}

@@ -20,9 +20,12 @@
 package clustermap
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
+	"panorama/internal/failure"
 	"panorama/internal/ilp"
 	"panorama/internal/spectral"
 )
@@ -43,6 +46,14 @@ type Result struct {
 	// LoadImbalance is the total absolute deviation of per-CGRA-cluster
 	// DFG-node load from the perfectly even distribution.
 	LoadImbalance int
+
+	// Provenance of the degradation ladder inside cluster mapping:
+	// GreedyRows counts the rows whose final column assignment came
+	// from the greedy fallback instead of the row ILP; Limited reports
+	// that at least one ILP solve hit a budget (its incumbent, or the
+	// greedy placement, was used instead of a proven optimum).
+	GreedyRows int
+	Limited    bool
 }
 
 // Score is the composite quality used to pick among feasible cluster
@@ -54,6 +65,12 @@ func (res *Result) Score() int { return 3*res.LoadImbalance + res.Cost }
 type Options struct {
 	Zeta1, Zeta2 int // matching-cut slack (>=1); see paper §3.2.1
 	MaxNodes     int // ILP node budget per solve (default 20_000)
+
+	// SolveTimeout is the wall-clock budget of each individual ILP
+	// solve (0 = none). Expiry is anytime: the solve's best incumbent
+	// is used when one exists, otherwise the ζ escalation or the
+	// greedy fallback takes over.
+	SolveTimeout time.Duration
 
 	// NodeCapacity and MemCapacity bound the DFG nodes (resp. memory
 	// operations) a single CGRA cluster may receive. The caller derives
@@ -72,6 +89,17 @@ type Options struct {
 // the paper's ClusterMapping(CDG, r, c, ζ1, ζ2). ok is false when the
 // column-wise scattering ILP is infeasible at these ζ values.
 func Map(cdg *spectral.CDG, r, c int, opts Options) (res *Result, ok bool, err error) {
+	return MapCtx(context.Background(), cdg, r, c, opts)
+}
+
+// MapCtx is Map with cancellation and deadline awareness: ctx is
+// threaded into every split/row ILP solve, so a fired deadline stops
+// the branch-and-bound mid-search. The attempt still completes on the
+// solves' incumbents and the greedy fallback when possible; when even
+// that is impossible (the column scatter has no incumbent) the
+// returned error carries the failure taxonomy (failure.ErrBudget /
+// failure.ErrCancelled).
+func MapCtx(ctx context.Context, cdg *spectral.CDG, r, c int, opts Options) (res *Result, ok bool, err error) {
 	if r <= 0 || c <= 0 {
 		return nil, false, fmt.Errorf("clustermap: invalid cluster grid %dx%d", r, c)
 	}
@@ -88,11 +116,11 @@ func Map(cdg *spectral.CDG, r, c int, opts Options) (res *Result, ok bool, err e
 		opts.MaxNodes = 20_000
 	}
 
-	rows, ok, err := columnScatter(cdg, r, c, opts)
+	rows, ok, err := columnScatter(ctx, cdg, r, c, opts)
 	if err != nil || !ok {
 		return nil, ok, err
 	}
-	cols, err := rowScatter(cdg, rows, r, c, opts)
+	cols, greedyRows, limited, err := rowScatter(ctx, cdg, rows, r, c, opts)
 	if err != nil {
 		return nil, false, err
 	}
@@ -101,6 +129,7 @@ func Map(cdg *spectral.CDG, r, c int, opts Options) (res *Result, ok bool, err e
 		CDG: cdg, R: r, C: c,
 		Rows: rows, Cols: cols,
 		Zeta1: opts.Zeta1, Zeta2: opts.Zeta2,
+		GreedyRows: greedyRows, Limited: limited,
 	}
 	res.fillStats()
 	return res, true, nil
@@ -112,6 +141,16 @@ func Map(cdg *spectral.CDG, r, c int, opts Options) (res *Result, ok bool, err e
 // matching-cut solution at the minimal ζ can be much worse for the
 // lower-level mapper than a slightly relaxed cut.
 func MapWithEscalation(cdg *spectral.CDG, r, c int, opts Options) (*Result, error) {
+	return MapWithEscalationCtx(context.Background(), cdg, r, c, opts)
+}
+
+// MapWithEscalationCtx is MapWithEscalation with cancellation, with
+// anytime semantics: if the context fires mid-escalation after at
+// least one feasible mapping was found, the best mapping so far is
+// returned instead of an error. With nothing usable, the error is
+// classified (failure.ErrBudget, failure.ErrCancelled, or
+// failure.ErrInfeasible when the escalation genuinely ran dry).
+func MapWithEscalationCtx(ctx context.Context, cdg *spectral.CDG, r, c int, opts Options) (*Result, error) {
 	if opts.Zeta1 <= 0 {
 		opts.Zeta1 = 1
 	}
@@ -122,8 +161,18 @@ func MapWithEscalation(cdg *spectral.CDG, r, c int, opts Options) (*Result, erro
 	var best *Result
 	extra := 0
 	for ; opts.Zeta1 <= maxZeta && extra < 3; opts.Zeta1, opts.Zeta2 = opts.Zeta1+1, opts.Zeta2+1 {
-		res, ok, err := Map(cdg, r, c, opts)
+		if cerr := ctx.Err(); cerr != nil {
+			if best != nil {
+				return best, nil
+			}
+			return nil, fmt.Errorf("clustermap: escalation stopped at zeta=%d: %w",
+				opts.Zeta1, failure.Classify(cerr))
+		}
+		res, ok, err := MapCtx(ctx, cdg, r, c, opts)
 		if err != nil {
+			if best != nil && (failure.IsBudget(err) || failure.IsCancelled(err)) {
+				return best, nil
+			}
 			return nil, err
 		}
 		if ok {
@@ -136,7 +185,8 @@ func MapWithEscalation(cdg *spectral.CDG, r, c int, opts Options) (*Result, erro
 		}
 	}
 	if best == nil {
-		return nil, fmt.Errorf("clustermap: no feasible cluster mapping up to zeta=%d", maxZeta)
+		return nil, fmt.Errorf("clustermap: no feasible cluster mapping up to zeta=%d: %w",
+			maxZeta, failure.ErrInfeasible)
 	}
 	return best, nil
 }
@@ -144,7 +194,7 @@ func MapWithEscalation(cdg *spectral.CDG, r, c int, opts Options) (*Result, erro
 // columnScatter assigns every CDG node a cluster row (paper §3.2.1).
 // It starts with all nodes at row 0 and repeatedly splits off the
 // nodes that stay, pushing the rest to the next row.
-func columnScatter(cdg *spectral.CDG, r, c int, opts Options) ([]int, bool, error) {
+func columnScatter(ctx context.Context, cdg *spectral.CDG, r, c int, opts Options) ([]int, bool, error) {
 	total := cdg.TotalNodes()
 	targetPerRow := total / r
 	if targetPerRow == 0 {
@@ -159,7 +209,7 @@ func columnScatter(cdg *spectral.CDG, r, c int, opts Options) ([]int, bool, erro
 	}
 
 	for row := 0; row < r-1; row++ {
-		stay, ok, err := splitILP(cdg, current, fixed, targetPerRow, r-1-row, c, opts)
+		stay, ok, err := splitILP(ctx, cdg, current, fixed, targetPerRow, r-1-row, c, opts)
 		if err != nil || !ok {
 			return nil, ok, err
 		}
@@ -192,7 +242,7 @@ func columnScatter(cdg *spectral.CDG, r, c int, opts Options) ([]int, bool, erro
 // already-settled nodes: pushing a node whose dependence partners sit
 // in the rows above widens their final distance, so such pushes are
 // charged in the objective.
-func splitILP(cdg *spectral.CDG, current []int, fixed map[int]int, target, remainingRows, c int, opts Options) ([]int, bool, error) {
+func splitILP(ctx context.Context, cdg *spectral.CDG, current []int, fixed map[int]int, target, remainingRows, c int, opts Options) ([]int, bool, error) {
 	m := ilp.NewModel()
 	vars := make(map[int]ilp.VarID, len(current))
 	for _, v := range current {
@@ -313,12 +363,19 @@ func splitILP(cdg *spectral.CDG, current []int, fixed map[int]int, target, remai
 		}
 	}
 
-	res := m.Solve(ilp.Options{MaxNodes: opts.MaxNodes})
+	res := m.SolveCtx(ctx, ilp.Options{MaxNodes: opts.MaxNodes, Timeout: opts.SolveTimeout})
 	switch res.Status {
 	case ilp.Infeasible:
 		return nil, false, nil
 	case ilp.Limit:
 		if !res.Feasible {
+			if cerr := ctx.Err(); cerr != nil {
+				// The caller's deadline (not this solve's own budget)
+				// stopped the search with nothing usable: escalating ζ
+				// would just re-fail instantly, so surface the typed
+				// failure and let the caller's anytime path decide.
+				return nil, false, fmt.Errorf("clustermap: column scatter: %w", failure.Classify(cerr))
+			}
 			// The budget ran out before any incumbent; treat the ζ as
 			// infeasible so escalation loosens the constraints (the
 			// constrained instances get easier as ζ grows).

@@ -1,9 +1,12 @@
 package clustermap
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"panorama/internal/failure"
+	"panorama/internal/faultinject"
 	"panorama/internal/ilp"
 	"panorama/internal/spectral"
 )
@@ -17,7 +20,11 @@ import (
 // The rows are solved as independent exact ILPs with two
 // coordinate-descent passes: pass one fixes unsolved rows at the grid
 // centre, pass two re-solves every row against the pass-one solution.
-func rowScatter(cdg *spectral.CDG, rows []int, r, c int, opts Options) ([][]int, error) {
+//
+// The returned greedyRows counts rows of the final pass whose
+// assignment came from the greedy fallback; limited reports that at
+// least one row ILP hit a budget (ladder provenance for the caller).
+func rowScatter(ctx context.Context, cdg *spectral.CDG, rows []int, r, c int, opts Options) (colsOut [][]int, greedyRows int, limited bool, err error) {
 	perRow := make([][]int, r)
 	for v, row := range rows {
 		perRow[row] = append(perRow[row], v)
@@ -31,20 +38,25 @@ func rowScatter(cdg *spectral.CDG, rows []int, r, c int, opts Options) ([][]int,
 	}
 
 	for pass := 0; pass < 2; pass++ {
+		greedyRows = 0 // only the final pass's assignments survive
 		for row := 0; row < r; row++ {
 			if len(perRow[row]) == 0 {
 				continue
 			}
-			solved, err := rowILP(cdg, perRow[row], rows, cols, spans, c, opts)
+			solved, usedGreedy, hitLimit, err := rowILP(ctx, cdg, perRow[row], rows, cols, spans, c, opts)
 			if err != nil {
-				return nil, fmt.Errorf("row %d pass %d: %w", row, pass, err)
+				return nil, 0, false, fmt.Errorf("row %d pass %d: %w", row, pass, err)
 			}
+			if usedGreedy {
+				greedyRows++
+			}
+			limited = limited || hitLimit
 			for v, cs := range solved {
 				cols[v] = cs
 			}
 		}
 	}
-	return cols, nil
+	return cols, greedyRows, limited, nil
 }
 
 // computeSpans returns how many cluster columns each CDG node should
@@ -83,8 +95,9 @@ func centeredInterval(span, c int) []int {
 
 // rowILP solves the column assignment for the nodes of one row, with
 // every other row's columns fixed. It returns the new column sets for
-// exactly the given nodes.
-func rowILP(cdg *spectral.CDG, nodes []int, rows []int, cols [][]int, spans []int, c int, opts Options) (map[int][]int, error) {
+// exactly the given nodes, whether the greedy fallback produced them,
+// and whether the ILP hit a budget.
+func rowILP(ctx context.Context, cdg *spectral.CDG, nodes []int, rows []int, cols [][]int, spans []int, c int, opts Options) (map[int][]int, bool, bool, error) {
 	m := ilp.NewModel()
 	inRow := make(map[int]bool, len(nodes))
 	for _, v := range nodes {
@@ -216,7 +229,8 @@ func rowILP(cdg *spectral.CDG, nodes []int, rows []int, cols [][]int, spans []in
 		}
 	}
 
-	res := m.Solve(ilp.Options{MaxNodes: opts.MaxNodes})
+	res := m.SolveCtx(ctx, ilp.Options{MaxNodes: opts.MaxNodes, Timeout: opts.SolveTimeout})
+	hitLimit := res.Status == ilp.Limit
 
 	// The greedy placement both serves as a fallback when the coverage
 	// constraint is unsatisfiable and as a safety net when the ILP's
@@ -224,9 +238,15 @@ func rowILP(cdg *spectral.CDG, nodes []int, rows []int, cols [][]int, spans []in
 	greedy, gerr := rowGreedy(cdg, nodes, cols, spans, c, opts)
 	if !res.Feasible {
 		if gerr != nil {
-			return nil, fmt.Errorf("clustermap: row ILP infeasible (%v) and greedy failed: %w", res.Status, gerr)
+			if cerr := ctx.Err(); cerr != nil {
+				// Both ladder rungs are gone because the caller's
+				// deadline fired; report the typed failure rather than
+				// the greedy's (injected) error.
+				return nil, false, hitLimit, fmt.Errorf("clustermap: row scatter: %w", failure.Classify(cerr))
+			}
+			return nil, false, hitLimit, fmt.Errorf("clustermap: row ILP infeasible (%v) and greedy failed: %w", res.Status, gerr)
 		}
-		return greedy, nil
+		return greedy, true, hitLimit, nil
 	}
 
 	out := make(map[int][]int, len(nodes))
@@ -242,9 +262,9 @@ func rowILP(cdg *spectral.CDG, nodes []int, rows []int, cols [][]int, spans []in
 	}
 	if gerr == nil && res.Status == ilp.Limit &&
 		evalRowCost(cdg, nodes, greedy, cols, spans, c) < evalRowCost(cdg, nodes, out, cols, spans, c) {
-		return greedy, nil
+		return greedy, true, hitLimit, nil
 	}
-	return out, nil
+	return out, false, hitLimit, nil
 }
 
 // evalRowCost scores a candidate column assignment for one row with the
@@ -296,6 +316,9 @@ func evalRowCost(cdg *spectral.CDG, nodes []int, assign map[int][]int, cols [][]
 // minimising its fixed-edge cost plus a running load-balance penalty,
 // nodes in descending size order.
 func rowGreedy(cdg *spectral.CDG, nodes []int, cols [][]int, spans []int, c int, opts Options) (map[int][]int, error) {
+	if err := faultinject.Fire(faultinject.SiteGreedy); err != nil {
+		return nil, err
+	}
 	order := append([]int(nil), nodes...)
 	sort.Slice(order, func(i, j int) bool {
 		if cdg.Sizes[order[i]] != cdg.Sizes[order[j]] {

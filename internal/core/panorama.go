@@ -8,13 +8,17 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"time"
 
 	"panorama/internal/arch"
 	"panorama/internal/clustermap"
 	"panorama/internal/dfg"
+	"panorama/internal/failure"
+	"panorama/internal/faultinject"
 	"panorama/internal/pool"
 	"panorama/internal/spectral"
 	"panorama/internal/spr"
@@ -79,6 +83,42 @@ func (u UltraFastLower) Map(ctx context.Context, d *dfg.Graph, a *arch.CGRA, all
 	return LowerResult{Success: res.Success, MII: res.MII, II: res.II, QoM: res.QoM()}, nil
 }
 
+// Budgets caps the wall-clock of the pipeline stages. Zero means
+// unbounded. Semantics: when a *stage* budget fires while the total
+// deadline is still alive, the pipeline degrades — the cluster mapping
+// keeps its best mapping so far, the lower mapper drops to the next
+// rung of the relaxation ladder. Only a stage that has nothing to
+// degrade to (clustering, or cluster mapping with no feasible
+// candidate yet) aborts the run, returning the partial Result next to
+// an error matching ErrBudget. When the *Total* deadline (or the
+// caller's own context) fires, the pipeline aborts immediately with
+// whatever it has.
+type Budgets struct {
+	Clustering time.Duration // spectral sweep (eigensolve + k-means fan-out)
+	ClusterMap time.Duration // all candidate split&push ILP escalations
+	Lower      time.Duration // each rung of the lower mapper's II search
+	Total      time.Duration // whole-pipeline deadline
+}
+
+// StageRecord is one pipeline stage's provenance entry.
+type StageRecord struct {
+	Stage string        // "clustering", "clustermap", "lower"
+	Wall  time.Duration // wall-clock spent in the stage
+	Note  string        // what the stage settled for ("", "budgeted: best-so-far", rung name, ...)
+}
+
+// Provenance records how a Result was produced: per-stage wall time
+// and notes, and — when a budget ended the run — which stage exhausted
+// it.
+type Provenance struct {
+	Stages      []StageRecord
+	BudgetStage string // stage whose budget/cancellation ended the run ("" if none)
+}
+
+func (p *Provenance) record(stage string, wall time.Duration, note string) {
+	p.Stages = append(p.Stages, StageRecord{Stage: stage, Wall: wall, Note: note})
+}
+
 // Config tunes the Panorama pipeline.
 type Config struct {
 	// MaxDFGClusters is m in Algorithm 1 (the top of the k sweep);
@@ -102,6 +142,9 @@ type Config struct {
 	// outright, so Panorama degrades to the baseline instead of
 	// failing. Enabled by default via MapPanorama.
 	RelaxOnFailure bool
+	// Budgets caps the wall clock of each pipeline stage and of the
+	// whole run; see the Budgets type for degradation semantics.
+	Budgets Budgets
 }
 
 // Result is the outcome of the full Panorama pipeline.
@@ -132,6 +175,11 @@ type Result struct {
 	// for MapBaseline), so compile-time speedup is observable per run.
 	SweepStats      pool.Stats
 	ClusterMapStats pool.Stats
+
+	// Provenance records what each stage did and, when a budget ended
+	// the run, which stage exhausted it. It is filled in even when the
+	// pipeline returns an error next to this partial Result.
+	Provenance Provenance
 }
 
 // TotalTime returns the end-to-end compilation time.
@@ -182,11 +230,24 @@ func MapPanorama(d *dfg.Graph, a *arch.CGRA, lower Lower, cfg Config) (*Result, 
 	return MapPanoramaCtx(context.Background(), d, a, lower, cfg)
 }
 
-// MapPanoramaCtx is MapPanorama with cancellation. The clustering
-// sweep and the per-candidate cluster mapping fan out over a worker
-// pool bounded by cfg.Workers; the lower-level mapper receives ctx and
-// aborts its II search once the context fires.
-func MapPanoramaCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, lower Lower, cfg Config) (*Result, error) {
+// MapPanoramaCtx is MapPanorama with cancellation and deadlines. The
+// clustering sweep and the per-candidate cluster mapping fan out over
+// a worker pool bounded by cfg.Workers; the lower-level mapper
+// receives ctx and aborts its II search once the context fires.
+//
+// Failure semantics: errors carry the taxonomy of internal/failure
+// (ErrBudget / ErrCancelled / ErrInfeasible / ErrLowerFailed, wrapped
+// in a StageError naming the stage). When a budget ends the run after
+// the pipeline has produced anything at all, the partial Result is
+// returned next to the error with Provenance.BudgetStage naming the
+// stage that exhausted it. A panic anywhere in the pipeline is
+// recovered into a *failure.PanicError instead of crashing the caller.
+func MapPanoramaCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, lower Lower, cfg Config) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = failure.Stage("pipeline", failure.NewPanic(-1, r, debug.Stack()))
+		}
+	}()
 	if err := d.Freeze(); err != nil {
 		return nil, err
 	}
@@ -197,14 +258,25 @@ func MapPanoramaCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, lower Lower
 	if cfg.TopPartitions <= 0 {
 		cfg.TopPartitions = 3
 	}
-	res := &Result{Kernel: d.Name}
+	if cfg.Budgets.Total > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Budgets.Total)
+		defer cancel()
+	}
+	res = &Result{Kernel: d.Name}
 
 	// Lines 1-4: clustering sweep k = R .. m. One eigendecomposition,
-	// k-means fanned out per k.
+	// k-means fanned out per k. This stage has no degraded form: its
+	// budget firing aborts the run.
 	t0 := time.Now()
-	parts, sweepStats, err := spectral.SweepCtx(ctx, d, r, cfg.MaxDFGClusters, cfg.Seed, cfg.Workers)
+	cctx, ccancel := stageCtx(ctx, cfg.Budgets.Clustering)
+	parts, sweepStats, err := spectral.SweepCtx(cctx, d, r, cfg.MaxDFGClusters, cfg.Seed, cfg.Workers)
+	ccancel()
+	res.ClusteringTime = time.Since(t0)
+	res.SweepStats = sweepStats
 	if err != nil {
-		return nil, fmt.Errorf("core: clustering: %w", err)
+		res.Provenance.record("clustering", res.ClusteringTime, "failed")
+		return res, res.abort("clustering", err)
 	}
 	// Partitions must have at least R clusters for column scattering.
 	var usable []*spectral.Partition
@@ -214,12 +286,13 @@ func MapPanoramaCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, lower Lower
 		}
 	}
 	if len(usable) == 0 {
-		return nil, fmt.Errorf("core: no partition with at least %d clusters", r)
+		res.Provenance.record("clustering", res.ClusteringTime, "no usable partition")
+		return res, failure.Stage("clustering", fmt.Errorf(
+			"no partition with at least %d clusters: %w", r, failure.ErrInfeasible))
 	}
 	top := spectral.TopBalanced(usable, cfg.TopPartitions)
-	res.ClusteringTime = time.Since(t0)
-	res.SweepStats = sweepStats
 	res.Candidates = len(top)
+	res.Provenance.record("clustering", res.ClusteringTime, fmt.Sprintf("%d candidates", len(top)))
 
 	// Lines 5-9: cluster-map each candidate with ζ escalation; keep the
 	// solution with minimal ζ (ties: lower weighted distance cost).
@@ -237,27 +310,31 @@ func MapPanoramaCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, lower Lower
 	t1 := time.Now()
 	// The candidates are independent ILP solves: fan them out and
 	// reduce in candidate order, so the winner is the same one the
-	// serial loop would pick regardless of completion order.
+	// serial loop would pick regardless of completion order. Budget and
+	// cancellation errors stop the fan-out (there is no point starting
+	// more candidates); infeasible candidates are dropped silently.
+	mctx, mcancel := stageCtx(ctx, cfg.Budgets.ClusterMap)
 	cms := make([]*clustermap.Result, len(top))
-	cmStats, err := pool.Run(ctx, cfg.Workers, len(top), func(i int) error {
+	cmStats, cmErr := pool.Run(mctx, cfg.Workers, len(top), func(i int) error {
 		cdg := spectral.BuildCDG(d, top[i])
-		cm, err := clustermap.MapWithEscalation(cdg, r, c, cmOpts)
-		if err != nil {
+		cm, err := clustermap.MapWithEscalationCtx(mctx, cdg, r, c, cmOpts)
+		if err != nil && !failure.IsBudget(err) && !failure.IsCancelled(err) {
 			// Capacity can be unsatisfiable for very lumpy partitions;
 			// retry this candidate unconstrained rather than dropping it.
 			relaxed := cmOpts
 			relaxed.NodeCapacity, relaxed.MemCapacity = 0, 0
-			cm, err = clustermap.MapWithEscalation(cdg, r, c, relaxed)
+			cm, err = clustermap.MapWithEscalationCtx(mctx, cdg, r, c, relaxed)
 		}
 		if err != nil {
+			if failure.IsBudget(err) || failure.IsCancelled(err) {
+				return err // out of time: stop the fan-out
+			}
 			return nil // infeasible candidate, not a pipeline error
 		}
 		cms[i] = cm
 		return nil
 	})
-	if err != nil {
-		return nil, fmt.Errorf("core: cluster mapping: %w", err)
-	}
+	mcancel()
 	var best *clustermap.Result
 	var bestPart *spectral.Partition
 	for i, cm := range cms {
@@ -270,9 +347,24 @@ func MapPanoramaCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, lower Lower
 	}
 	res.ClusterMapTime = time.Since(t1)
 	res.ClusterMapStats = cmStats
-	if best == nil {
-		return nil, fmt.Errorf("core: cluster mapping failed for all %d candidate partitions", len(top))
+	if cmErr != nil && (best == nil || ctx.Err() != nil || isPanic(cmErr)) {
+		// Nothing usable, the total deadline (not just the stage's)
+		// fired, or a candidate panicked: abort.
+		res.Provenance.record("clustermap", res.ClusterMapTime, "failed")
+		return res, res.abort("clustermap", cmErr)
 	}
+	if best == nil {
+		res.Provenance.record("clustermap", res.ClusterMapTime, "all candidates infeasible")
+		return res, failure.Stage("clustermap", fmt.Errorf(
+			"cluster mapping failed for all %d candidate partitions: %w", len(top), failure.ErrInfeasible))
+	}
+	cmNote := ""
+	if cmErr != nil {
+		// The stage budget fired with candidates in hand: degrade to
+		// the best mapping found so far.
+		cmNote = "budgeted: best-so-far"
+	}
+	res.Provenance.record("clustermap", res.ClusterMapTime, cmNote)
 	res.Partition = bestPart
 	res.CDG = best.CDG
 	res.ClusterMap = best
@@ -287,34 +379,106 @@ func MapPanoramaCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, lower Lower
 		allowed = relaxMemOps(d, allowed)
 		res.Relaxed = true
 	}
-	t2 := time.Now()
-	low, err := lower.Map(ctx, d, a, allowed)
-	if err != nil {
-		return nil, err
+
+	// The degradation ladder: each rung is one lower-mapper attempt
+	// under its own Budgets.Lower slice. A rung that errors out — its
+	// budget fired, an injected fault, a hard mapper error — degrades
+	// to the next rung as long as the pipeline deadline is alive;
+	// exhausting the ladder surfaces the last error, typed.
+	type rung struct {
+		name     string
+		allowed  [][]int
+		relaxed  bool
+		fellback bool
 	}
-	if !low.Success && cfg.RelaxOnFailure {
-		// First widen memory ops (bank pressure is the usual culprit),
-		// then drop guidance entirely.
-		relaxed := relaxMemOps(d, allowed)
-		low, err = lower.Map(ctx, d, a, relaxed)
-		if err != nil {
-			return nil, err
-		}
-		res.Relaxed = true
-		if !low.Success {
-			low, err = lower.Map(ctx, d, a, nil)
-			if err != nil {
-				return nil, err
+	rungs := []rung{{name: "guided", allowed: allowed, relaxed: res.Relaxed}}
+	if cfg.RelaxOnFailure {
+		rungs = append(rungs,
+			rung{name: "relaxed", allowed: relaxMemOps(d, allowed), relaxed: true},
+			rung{name: "unguided", allowed: nil, fellback: true},
+		)
+	}
+	t2 := time.Now()
+	var lastErr error
+	note := ""
+	for _, rg := range rungs {
+		low, lerr := runRung(ctx, cfg.Budgets.Lower, lower, d, a, rg.allowed)
+		if lerr != nil {
+			if ctx.Err() != nil || isPanic(lerr) {
+				// The pipeline deadline fired (or the mapper panicked):
+				// further rungs are pointless.
+				res.LowerTime = time.Since(t2)
+				res.Provenance.record("lower", res.LowerTime, rg.name+" aborted")
+				return res, res.abort("lower", lerr)
 			}
-			// The reported mapping carries no guidance at all: this is
-			// a baseline run, not a relaxed guided one.
-			res.Relaxed = false
-			res.FellBack = true
+			lastErr = lerr
+			note = rg.name + " failed, degraded"
+			continue
 		}
+		res.Lower = low
+		if low.Success {
+			res.Relaxed = rg.relaxed
+			res.FellBack = rg.fellback
+			res.LowerTime = time.Since(t2)
+			res.Provenance.record("lower", res.LowerTime, rg.name)
+			return res, nil
+		}
+		// A clean run that found no mapping at any II: keep its MII/II
+		// diagnostics and try the next rung.
+		lastErr = nil
+		note = rg.name + " unsuccessful"
 	}
 	res.LowerTime = time.Since(t2)
-	res.Lower = low
+	res.Provenance.record("lower", res.LowerTime, note)
+	if lastErr != nil {
+		if failure.IsBudget(lastErr) || failure.IsCancelled(lastErr) {
+			return res, res.abort("lower", lastErr)
+		}
+		return res, failure.Stage("lower", fmt.Errorf("%w: %w", failure.ErrLowerFailed, lastErr))
+	}
+	// Every rung completed without a mapping; that is a well-formed
+	// unsuccessful Result (Lower.Success == false), not an error —
+	// exactly as before budgets existed.
 	return res, nil
+}
+
+// stageCtx derives a stage-budget context: with d <= 0 the parent is
+// used unchanged.
+func stageCtx(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// runRung runs one rung of the lower-mapper ladder under its own
+// budget slice, with the faultinject site armed tests use to force
+// rung failures.
+func runRung(ctx context.Context, budget time.Duration, lower Lower, d *dfg.Graph, a *arch.CGRA, allowed [][]int) (LowerResult, error) {
+	if err := faultinject.Fire(faultinject.SiteLowerMap); err != nil {
+		return LowerResult{}, err
+	}
+	lctx, cancel := stageCtx(ctx, budget)
+	defer cancel()
+	return lower.Map(lctx, d, a, allowed)
+}
+
+// abort finalises a fatal stage failure: the error is classified and
+// attributed to the stage, and when it is a budget expiry or a
+// cancellation the stage is recorded as the one that exhausted the
+// run's time.
+func (r *Result) abort(stage string, err error) error {
+	werr := failure.Stage(stage, err)
+	if failure.IsBudget(werr) || failure.IsCancelled(werr) {
+		r.Provenance.BudgetStage = stage
+	}
+	return werr
+}
+
+// isPanic reports whether err carries a recovered panic.
+func isPanic(err error) bool {
+	var pe *failure.PanicError
+	return errors.As(err, &pe)
 }
 
 // less orders cluster mappings: primarily by the composite quality
@@ -511,18 +675,26 @@ func MapBaseline(d *dfg.Graph, a *arch.CGRA, lower Lower) (*Result, error) {
 	return MapBaselineCtx(context.Background(), d, a, lower)
 }
 
-// MapBaselineCtx is MapBaseline with cancellation.
-func MapBaselineCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, lower Lower) (*Result, error) {
+// MapBaselineCtx is MapBaseline with cancellation. Errors carry the
+// failure taxonomy and panics are recovered, exactly as in
+// MapPanoramaCtx.
+func MapBaselineCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, lower Lower) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = failure.Stage("pipeline", failure.NewPanic(-1, r, debug.Stack()))
+		}
+	}()
 	if err := d.Freeze(); err != nil {
 		return nil, err
 	}
-	res := &Result{Kernel: d.Name}
+	res = &Result{Kernel: d.Name}
 	t := time.Now()
-	low, err := lower.Map(ctx, d, a, nil)
-	if err != nil {
-		return nil, err
-	}
+	low, lerr := lower.Map(ctx, d, a, nil)
 	res.LowerTime = time.Since(t)
+	res.Provenance.record("lower", res.LowerTime, "unguided")
+	if lerr != nil {
+		return res, res.abort("lower", lerr)
+	}
 	res.Lower = low
 	return res, nil
 }

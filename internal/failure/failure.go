@@ -1,0 +1,125 @@
+// Package failure is the pipeline-wide error taxonomy. Every stage of
+// the Panorama pipeline reports its failures through the four sentinel
+// errors below so that callers — the CLIs, the benchmark harness, a
+// service wrapping the mapper — can branch on the *class* of failure
+// with errors.Is/As instead of string matching:
+//
+//   - ErrBudget: a wall-clock or node budget fired. The work done so
+//     far may still be usable (anytime semantics); core returns the
+//     best partial result next to this error.
+//   - ErrCancelled: the caller's context was cancelled. Nothing about
+//     the input is wrong; retrying with more time is sensible.
+//   - ErrInfeasible: the instance itself admits no solution under the
+//     current constraints (e.g. no feasible cluster mapping at any ζ).
+//     Retrying with the same configuration is pointless.
+//   - ErrLowerFailed: the lower-level mapper failed with a hard error
+//     on every rung of the degradation ladder.
+//
+// StageError attributes a classified failure to the pipeline stage
+// that produced it; PanicError preserves a recovered panic (task
+// index, value, stack) as an ordinary error so one bad kernel can
+// never take down a whole process or harness run.
+package failure
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors of the failure taxonomy. Match with errors.Is.
+var (
+	ErrBudget      = errors.New("time budget exhausted")
+	ErrInfeasible  = errors.New("infeasible")
+	ErrCancelled   = errors.New("cancelled")
+	ErrLowerFailed = errors.New("lower mapper failed")
+)
+
+// StageError attributes a failure to a named pipeline stage
+// ("clustering", "clustermap", "lower", "pipeline", ...).
+type StageError struct {
+	Stage string
+	Err   error
+}
+
+func (e *StageError) Error() string { return e.Stage + ": " + e.Err.Error() }
+
+// Unwrap exposes the classified cause to errors.Is/As.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// Stage classifies err and attributes it to stage. A nil err returns
+// nil so call sites can wrap unconditionally.
+func Stage(stage string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &StageError{Stage: stage, Err: Classify(err)}
+}
+
+// StageOf returns the stage name err is attributed to, or "" when err
+// carries no StageError.
+func StageOf(err error) string {
+	var se *StageError
+	if errors.As(err, &se) {
+		return se.Stage
+	}
+	return ""
+}
+
+// Classify maps an arbitrary error onto the taxonomy: context
+// deadlines become ErrBudget, context cancellation becomes
+// ErrCancelled, and errors already carrying a sentinel pass through
+// unchanged. Other errors are returned as-is (they are domain errors
+// the caller may still errors.As into).
+func Classify(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrBudget), errors.Is(err, ErrInfeasible),
+		errors.Is(err, ErrCancelled), errors.Is(err, ErrLowerFailed):
+		return err
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrBudget, err)
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("%w: %w", ErrCancelled, err)
+	default:
+		return err
+	}
+}
+
+// IsBudget reports whether err is a budget expiry (directly, via a
+// wrapped sentinel, or as a raw context.DeadlineExceeded).
+func IsBudget(err error) bool {
+	return errors.Is(err, ErrBudget) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// IsCancelled reports whether err is a caller cancellation.
+func IsCancelled(err error) bool {
+	return errors.Is(err, ErrCancelled) || errors.Is(err, context.Canceled)
+}
+
+// IsInfeasible reports whether err is a proven infeasibility.
+func IsInfeasible(err error) bool {
+	return errors.Is(err, ErrInfeasible)
+}
+
+// PanicError is a panic recovered at a pipeline or worker-pool
+// boundary, preserved as an error. Index is the pool task index that
+// panicked (-1 when the panic was not inside an indexed task).
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+// NewPanic builds a PanicError from a recovered value and stack.
+func NewPanic(index int, value any, stack []byte) *PanicError {
+	return &PanicError{Index: index, Value: value, Stack: stack}
+}
+
+func (e *PanicError) Error() string {
+	if e.Index >= 0 {
+		return fmt.Sprintf("panic in task %d: %v\n%s", e.Index, e.Value, e.Stack)
+	}
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}

@@ -1,0 +1,89 @@
+package failure
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestClassifyContextErrors(t *testing.T) {
+	if err := Classify(context.DeadlineExceeded); !errors.Is(err, ErrBudget) {
+		t.Fatalf("deadline classified as %v, want ErrBudget", err)
+	}
+	// The original cause must survive classification for errors.Is.
+	if err := Classify(context.DeadlineExceeded); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("classification dropped the context cause: %v", err)
+	}
+	if err := Classify(context.Canceled); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("cancel classified as %v, want ErrCancelled", err)
+	}
+	if Classify(nil) != nil {
+		t.Fatal("nil must classify to nil")
+	}
+	domain := errors.New("domain")
+	if Classify(domain) != domain {
+		t.Fatal("domain errors must pass through unchanged")
+	}
+	// Already-classified errors must not be double wrapped.
+	pre := fmt.Errorf("stagey: %w", ErrInfeasible)
+	if Classify(pre) != pre {
+		t.Fatal("pre-classified errors must pass through")
+	}
+}
+
+func TestStageAttribution(t *testing.T) {
+	err := Stage("clustering", context.DeadlineExceeded)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget in chain", err)
+	}
+	if StageOf(err) != "clustering" {
+		t.Fatalf("StageOf = %q, want clustering", StageOf(err))
+	}
+	var se *StageError
+	if !errors.As(err, &se) || se.Stage != "clustering" {
+		t.Fatalf("errors.As StageError failed on %v", err)
+	}
+	if Stage("x", nil) != nil {
+		t.Fatal("Stage(nil) must be nil")
+	}
+	if StageOf(errors.New("plain")) != "" {
+		t.Fatal("StageOf on a plain error must be empty")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !IsBudget(context.DeadlineExceeded) || !IsBudget(fmt.Errorf("w: %w", ErrBudget)) {
+		t.Fatal("IsBudget must match both the sentinel and raw deadline errors")
+	}
+	if !IsCancelled(context.Canceled) || !IsCancelled(fmt.Errorf("w: %w", ErrCancelled)) {
+		t.Fatal("IsCancelled must match both the sentinel and raw cancel errors")
+	}
+	if IsBudget(ErrInfeasible) || IsCancelled(ErrBudget) {
+		t.Fatal("predicates must not cross-match")
+	}
+}
+
+func TestPanicError(t *testing.T) {
+	pe := NewPanic(3, "boom", []byte("stack-trace"))
+	var got *PanicError
+	wrapped := Stage("clustermap", pe)
+	if !errors.As(wrapped, &got) || got.Index != 3 {
+		t.Fatalf("PanicError lost through Stage: %v", wrapped)
+	}
+	msg := pe.Error()
+	for _, want := range []string{"task 3", "boom", "stack-trace"} {
+		if !contains(msg, want) {
+			t.Fatalf("panic message %q missing %q", msg, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,192 @@
+// Package faultinject is a deterministic fault-injection registry for
+// the Panorama pipeline. Every stage boundary carries a named site
+// (eigensolve, k-means, ILP solve, greedy fallback, lower map); an
+// armed Plan can force an error, a budget expiry, or a panic at the
+// Nth hit of a site, which lets tests walk every rung of the
+// pipeline's degradation ladder without hand-crafting pathological
+// kernels.
+//
+// Unarmed — the production state — Fire is a single atomic pointer
+// load returning nil, so the sites cost nothing measurable on the hot
+// path. Arming is process-global (the pipeline's stages are spread
+// over several packages), guarded for concurrent Fire calls from
+// worker-pool goroutines, and strictly scoped: Arm returns a disarm
+// func the test must defer.
+//
+// Determinism: hits are counted per site under a lock, so a rule
+// firing "from hit 1 onward" is scheduling-independent and safe at
+// any worker count; rules pinned to a specific later hit are
+// deterministic whenever the site is hit from a single goroutine
+// (arm such plans with Workers: 1). A Plan.Seed derives the hit
+// number of rules that leave From unset, so seeded sweeps explore
+// different injection points without the test enumerating them.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"panorama/internal/failure"
+)
+
+// Named injection sites at the pipeline's stage boundaries.
+const (
+	// SiteEigensolve guards the Laplacian eigendecomposition at the
+	// head of the spectral sweep.
+	SiteEigensolve = "spectral.eigensolve"
+	// SiteKMeans guards each per-k k-means task (runs inside the
+	// worker pool, so a panic here exercises pool recovery).
+	SiteKMeans = "spectral.kmeans"
+	// SiteILPSolve guards every branch-and-bound solve. Error and
+	// Timeout kinds make the solve return Status Limit with no
+	// incumbent — exactly what a real budget expiry looks like — so
+	// they drive the ζ-escalation and ILP→greedy ladder rungs.
+	SiteILPSolve = "ilp.solve"
+	// SiteGreedy guards the greedy row-placement fallback behind the
+	// row ILPs.
+	SiteGreedy = "clustermap.greedy"
+	// SiteLowerMap guards each lower-mapper invocation (one hit per
+	// rung of the guided→relaxed→unguided ladder).
+	SiteLowerMap = "core.lower"
+)
+
+// Kind selects what an armed rule does when it fires.
+type Kind int
+
+const (
+	// Error returns the rule's Err (or a generic injected error).
+	Error Kind = iota + 1
+	// Timeout returns an error classified as a budget expiry
+	// (failure.ErrBudget wrapping context.DeadlineExceeded).
+	Timeout
+	// Panic panics with a descriptive value.
+	Panic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Error:
+		return "error"
+	case Timeout:
+		return "timeout"
+	case Panic:
+		return "panic"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Rule injects one fault kind at a site. From is the first hit
+// (1-based) at which it fires; 0 means "derive from the plan seed"
+// (or 1 with no seed). Count bounds how many consecutive hits fire;
+// 0 means every hit from From onward.
+type Rule struct {
+	Site  string
+	Kind  Kind
+	From  int
+	Count int
+	Err   error // optional custom error for Kind Error
+}
+
+// Plan is a set of rules armed together.
+type Plan struct {
+	Seed  int64
+	Rules []Rule
+}
+
+type planState struct {
+	mu    sync.Mutex
+	hits  map[string]int
+	rules map[string][]Rule
+}
+
+var armed atomic.Pointer[planState]
+
+// Arm installs the plan and returns the disarm func. Tests must defer
+// it; arming while armed panics (overlapping plans would make hit
+// counts meaningless).
+func Arm(p *Plan) func() {
+	st := &planState{hits: make(map[string]int), rules: make(map[string][]Rule)}
+	for _, r := range p.Rules {
+		if r.From <= 0 {
+			r.From = seededHit(p.Seed, r.Site)
+		}
+		st.rules[r.Site] = append(st.rules[r.Site], r)
+	}
+	if !armed.CompareAndSwap(nil, st) {
+		panic("faultinject: Arm while already armed")
+	}
+	return func() { armed.CompareAndSwap(st, nil) }
+}
+
+// Armed reports whether a plan is installed.
+func Armed() bool { return armed.Load() != nil }
+
+// Hits returns how many times site has fired its counter under the
+// current plan (0 when unarmed) — used by tests to assert coverage.
+func Hits(site string) int {
+	st := armed.Load()
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.hits[site]
+}
+
+// Fire is the per-site hook. Unarmed it returns nil after a single
+// atomic load. Armed, it counts the hit and applies the first
+// matching rule: Error and Timeout kinds return an error, Panic
+// panics.
+func Fire(site string) error {
+	st := armed.Load()
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	st.hits[site]++
+	hit := st.hits[site]
+	var match *Rule
+	for i := range st.rules[site] {
+		r := &st.rules[site][i]
+		if hit >= r.From && (r.Count == 0 || hit < r.From+r.Count) {
+			match = r
+			break
+		}
+	}
+	st.mu.Unlock()
+	if match == nil {
+		return nil
+	}
+	switch match.Kind {
+	case Panic:
+		panic(fmt.Sprintf("faultinject: forced panic at %s (hit %d)", site, hit))
+	case Timeout:
+		return fmt.Errorf("faultinject: forced timeout at %s (hit %d): %w: %w",
+			site, hit, failure.ErrBudget, context.DeadlineExceeded)
+	default:
+		if match.Err != nil {
+			return fmt.Errorf("faultinject: forced error at %s (hit %d): %w", site, hit, match.Err)
+		}
+		return fmt.Errorf("faultinject: forced error at %s (hit %d)", site, hit)
+	}
+}
+
+// seededHit derives a deterministic hit number in [1, 8] from the
+// plan seed and the site name (splitmix64 over the mixed inputs).
+func seededHit(seed int64, site string) int {
+	if seed == 0 {
+		return 1
+	}
+	x := uint64(seed)
+	for _, c := range site {
+		x = (x ^ uint64(c)) * 0x9e3779b97f4a7c15
+	}
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x%8) + 1
+}

@@ -1,0 +1,130 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"panorama/internal/failure"
+)
+
+func TestUnarmedIsNoop(t *testing.T) {
+	if Armed() {
+		t.Fatal("fresh process must be unarmed")
+	}
+	for i := 0; i < 100; i++ {
+		if err := Fire(SiteILPSolve); err != nil {
+			t.Fatalf("unarmed Fire returned %v", err)
+		}
+	}
+	if Hits(SiteILPSolve) != 0 {
+		t.Fatal("unarmed Fire must not count hits")
+	}
+}
+
+func TestNthHitRule(t *testing.T) {
+	disarm := Arm(&Plan{Rules: []Rule{{Site: SiteKMeans, Kind: Error, From: 3, Count: 2}}})
+	defer disarm()
+	var fired []int
+	for hit := 1; hit <= 6; hit++ {
+		if err := Fire(SiteKMeans); err != nil {
+			fired = append(fired, hit)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 4 {
+		t.Fatalf("rule fired at hits %v, want [3 4]", fired)
+	}
+	if Hits(SiteKMeans) != 6 {
+		t.Fatalf("Hits = %d, want 6", Hits(SiteKMeans))
+	}
+}
+
+func TestTimeoutKindClassifiesAsBudget(t *testing.T) {
+	disarm := Arm(&Plan{Rules: []Rule{{Site: SiteLowerMap, Kind: Timeout, From: 1}}})
+	defer disarm()
+	err := Fire(SiteLowerMap)
+	if !failure.IsBudget(err) {
+		t.Fatalf("timeout kind produced %v, want a budget-classified error", err)
+	}
+}
+
+func TestCustomErrorIsWrapped(t *testing.T) {
+	boom := errors.New("boom")
+	disarm := Arm(&Plan{Rules: []Rule{{Site: SiteGreedy, Kind: Error, From: 1, Err: boom}}})
+	defer disarm()
+	if err := Fire(SiteGreedy); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	disarm := Arm(&Plan{Rules: []Rule{{Site: SiteEigensolve, Kind: Panic, From: 1}}})
+	defer disarm()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic kind must panic")
+		}
+	}()
+	_ = Fire(SiteEigensolve)
+}
+
+func TestDisarmScopesThePlan(t *testing.T) {
+	disarm := Arm(&Plan{Rules: []Rule{{Site: SiteILPSolve, Kind: Error, From: 1}}})
+	if Fire(SiteILPSolve) == nil {
+		t.Fatal("armed rule must fire")
+	}
+	disarm()
+	if Fire(SiteILPSolve) != nil {
+		t.Fatal("disarmed site must be a no-op again")
+	}
+	// Double disarm is harmless; a fresh plan can be armed after.
+	disarm()
+	d2 := Arm(&Plan{})
+	d2()
+}
+
+func TestArmWhileArmedPanics(t *testing.T) {
+	disarm := Arm(&Plan{})
+	defer disarm()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Arm must panic")
+		}
+	}()
+	Arm(&Plan{})
+}
+
+func TestSeededHitIsDeterministicAndInRange(t *testing.T) {
+	for seed := int64(1); seed <= 64; seed++ {
+		a, b := seededHit(seed, SiteKMeans), seededHit(seed, SiteKMeans)
+		if a != b {
+			t.Fatalf("seed %d: nondeterministic hit %d vs %d", seed, a, b)
+		}
+		if a < 1 || a > 8 {
+			t.Fatalf("seed %d: hit %d out of range", seed, a)
+		}
+	}
+	if seededHit(0, SiteKMeans) != 1 {
+		t.Fatal("no seed must mean hit 1")
+	}
+}
+
+func TestEveryHitRuleIsOrderIndependent(t *testing.T) {
+	disarm := Arm(&Plan{Rules: []Rule{{Site: SiteKMeans, Kind: Error, From: 1}}})
+	defer disarm()
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = Fire(SiteKMeans)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("goroutine %d saw no fault under an every-hit rule", i)
+		}
+	}
+}

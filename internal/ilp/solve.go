@@ -1,8 +1,12 @@
 package ilp
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
+
+	"panorama/internal/faultinject"
 )
 
 // Status reports the outcome of Solve.
@@ -14,7 +18,8 @@ const (
 	Optimal Status = iota
 	// Infeasible: no assignment satisfies the constraints.
 	Infeasible
-	// Limit: the node budget was exhausted; Result holds the best
+	// Limit: a budget fired — the node budget, the wall-clock
+	// Timeout, or the caller's context; Result holds the best
 	// incumbent found so far (Feasible reports whether one exists).
 	Limit
 )
@@ -34,6 +39,10 @@ func (s Status) String() string {
 // Options tunes the search.
 type Options struct {
 	MaxNodes int // branch-and-bound node budget (default 2_000_000)
+	// Timeout is the wall-clock budget of one solve; 0 means none.
+	// Like the node budget, expiry has anytime semantics: the solve
+	// returns the best incumbent found so far with Status Limit.
+	Timeout time.Duration
 }
 
 // Result is the outcome of a solve.
@@ -56,10 +65,35 @@ type solver struct {
 	feasible bool
 	nodes    int
 	maxNodes int
+
+	ctx      context.Context
+	deadline time.Time
+	timed    bool
+	stopped  bool // wall-clock budget or ctx fired mid-search
 }
+
+// deadlineCheckInterval bounds how many branch-and-bound nodes may be
+// explored between wall-clock/context checks; it caps the overrun past
+// a deadline at the cost of that many propagation passes (well under a
+// millisecond on the CDG-sized instances this solver sees).
+const deadlineCheckInterval = 1024
 
 // Solve runs branch-and-bound and returns the best assignment.
 func (m *Model) Solve(opts Options) *Result {
+	return m.SolveCtx(context.Background(), opts)
+}
+
+// SolveCtx is Solve with cancellation and deadline awareness. The
+// search honours, in addition to the node budget: opts.Timeout, the
+// context's deadline, and the context's cancellation — whichever
+// fires first stops the search, which then returns the best feasible
+// incumbent found so far with Status Limit (anytime semantics).
+func (m *Model) SolveCtx(ctx context.Context, opts Options) *Result {
+	if err := faultinject.Fire(faultinject.SiteILPSolve); err != nil {
+		// An injected fault is indistinguishable from an instantly
+		// expired budget: Limit with no incumbent.
+		return &Result{Status: Limit}
+	}
 	if opts.MaxNodes <= 0 {
 		opts.MaxNodes = 2_000_000
 	}
@@ -69,10 +103,18 @@ func (m *Model) Solve(opts Options) *Result {
 		hi:       make([]int, len(m.vars)),
 		best:     math.MaxInt,
 		maxNodes: opts.MaxNodes,
+		ctx:      ctx,
+	}
+	if opts.Timeout > 0 {
+		s.deadline, s.timed = time.Now().Add(opts.Timeout), true
+	}
+	if d, ok := ctx.Deadline(); ok && (!s.timed || d.Before(s.deadline)) {
+		s.deadline, s.timed = d, true
 	}
 	for i, v := range m.vars {
 		s.lo[i], s.hi[i] = v.lo, v.hi
 	}
+	s.checkBudgets() // a pre-expired budget must not start the search
 	s.dfs()
 
 	res := &Result{Nodes: s.nodes}
@@ -82,7 +124,7 @@ func (m *Model) Solve(opts Options) *Result {
 		res.Assign = s.bestAsg
 	}
 	switch {
-	case s.nodes >= s.maxNodes:
+	case s.stopped || s.nodes >= s.maxNodes:
 		res.Status = Limit
 	case s.feasible:
 		res.Status = Optimal
@@ -92,12 +134,28 @@ func (m *Model) Solve(opts Options) *Result {
 	return res
 }
 
+// checkBudgets samples the wall clock and the context; it flips
+// stopped when either budget has fired.
+func (s *solver) checkBudgets() {
+	if s.timed && !time.Now().Before(s.deadline) {
+		s.stopped = true
+	}
+	if s.ctx.Err() != nil {
+		s.stopped = true
+	}
+}
+
 // dfs explores the current node: propagate, bound, branch.
 func (s *solver) dfs() {
-	if s.nodes >= s.maxNodes {
+	if s.stopped || s.nodes >= s.maxNodes {
 		return
 	}
 	s.nodes++
+	if s.nodes%deadlineCheckInterval == 0 {
+		if s.checkBudgets(); s.stopped {
+			return
+		}
+	}
 	if !s.propagate() {
 		return
 	}
@@ -128,7 +186,7 @@ func (s *solver) dfs() {
 		s.dfs()
 		copy(s.lo, saveLo)
 		copy(s.hi, saveHi)
-		if s.nodes >= s.maxNodes {
+		if s.stopped || s.nodes >= s.maxNodes {
 			return
 		}
 	}

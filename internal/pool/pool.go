@@ -10,9 +10,12 @@ package pool
 import (
 	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"panorama/internal/failure"
 )
 
 // Stats describes one pool run, so callers can surface observed
@@ -64,6 +67,11 @@ func Clamp(workers, n int) int {
 // failures, the error of the lowest index is returned, so the reported
 // error does not depend on goroutine scheduling; a ctx error is
 // returned only when no task error occurred.
+//
+// A panic inside fn does not crash the process or strand the other
+// workers: it is recovered and surfaced as a *failure.PanicError
+// carrying the task index and stack, failing the run like any other
+// task error.
 func Run(ctx context.Context, workers, n int, fn func(i int) error) (Stats, error) {
 	stats := Stats{}
 	if n <= 0 {
@@ -82,7 +90,7 @@ func Run(ctx context.Context, workers, n int, fn func(i int) error) (Stats, erro
 				return stats, err
 			}
 			t0 := time.Now()
-			err := fn(i)
+			err := call(fn, i)
 			stats.Busy += time.Since(t0)
 			stats.Tasks++
 			if err != nil {
@@ -125,7 +133,7 @@ func Run(ctx context.Context, workers, n int, fn func(i int) error) (Stats, erro
 					return
 				}
 				t0 := time.Now()
-				err := fn(i)
+				err := call(fn, i)
 				busyNS.Add(int64(time.Since(t0)))
 				tasks.Add(1)
 				if err != nil {
@@ -142,4 +150,15 @@ func Run(ctx context.Context, workers, n int, fn func(i int) error) (Stats, erro
 		return stats, firstErr
 	}
 	return stats, ctx.Err()
+}
+
+// call runs fn(i) with a panic barrier: a panicking task becomes a
+// *failure.PanicError instead of unwinding through the pool.
+func call(fn func(int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = failure.NewPanic(i, r, debug.Stack())
+		}
+	}()
+	return fn(i)
 }

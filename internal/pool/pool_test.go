@@ -3,9 +3,12 @@ package pool
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"panorama/internal/failure"
 )
 
 func TestRunCoversAllIndices(t *testing.T) {
@@ -105,6 +108,48 @@ func TestClamp(t *testing.T) {
 	}
 	if Clamp(-1, 0) != 1 {
 		t.Fatal("floor is 1")
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		_, err := Run(context.Background(), workers, 16, func(i int) error {
+			if i == 5 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		var pe *failure.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *failure.PanicError", workers, err)
+		}
+		if pe.Index != 5 || pe.Value != "kaboom" {
+			t.Fatalf("workers=%d: recovered %+v, want index 5 value kaboom", workers, pe)
+		}
+		if !strings.Contains(string(pe.Stack), "pool_test") {
+			t.Fatalf("workers=%d: stack does not point at the panicking task:\n%s", workers, pe.Stack)
+		}
+	}
+}
+
+func TestRunPanicDoesNotDeadlockWaiters(t *testing.T) {
+	// Every task panics; the run must still drain and return promptly
+	// with the lowest-index panic.
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(context.Background(), 4, 32, func(i int) error {
+			panic(i)
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var pe *failure.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("err = %v, want *failure.PanicError", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pool deadlocked on panicking tasks")
 	}
 }
 

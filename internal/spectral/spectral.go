@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"panorama/internal/dfg"
+	"panorama/internal/faultinject"
 	"panorama/internal/kmeans"
 	"panorama/internal/linalg"
 	"panorama/internal/pool"
@@ -40,6 +41,9 @@ type Embedder struct {
 // undirected similarity graph (L = D - A, parallel edges merged with
 // weight equal to their multiplicity).
 func NewEmbedder(g *dfg.Graph) (*Embedder, error) {
+	if err := faultinject.Fire(faultinject.SiteEigensolve); err != nil {
+		return nil, err
+	}
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, fmt.Errorf("spectral: empty graph")
@@ -73,6 +77,9 @@ func Laplacian(g *dfg.Graph) *linalg.Matrix {
 // Cluster runs k-means on the first k eigenvector coordinates of every
 // node and returns the resulting partition with its statistics.
 func (em *Embedder) Cluster(k int, seed int64) (*Partition, error) {
+	if err := faultinject.Fire(faultinject.SiteKMeans); err != nil {
+		return nil, err
+	}
 	n := em.g.NumNodes()
 	if k <= 0 || k > n {
 		return nil, fmt.Errorf("spectral: k=%d out of range for %d nodes", k, n)

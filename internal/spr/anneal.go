@@ -10,6 +10,9 @@ import "math"
 func (st *state) saRound(temp float64) int {
 	steps := 0
 	for m := 0; m < st.opts.SAMovesPerTemp && st.badness() > 0; m++ {
+		if m%64 == 0 && st.cancelled() {
+			break
+		}
 		v := st.pickCongestedNode()
 		if v < 0 {
 			break

@@ -1,0 +1,50 @@
+package spr
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"panorama/internal/arch"
+	"panorama/internal/kernels"
+)
+
+// TestMapCtxCancelMidSearch cancels the context while the II search is
+// in flight and asserts the mapper returns ctx.Err() within a bounded
+// latency — at worst one annealing temperature step plus one PathFinder
+// round, not a whole II attempt.
+func TestMapCtxCancelMidSearch(t *testing.T) {
+	spec, err := kernels.ByName("conv2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := spec.Build(0.3)
+	a := arch.Preset8x8()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	_, err = MapCtx(ctx, d, a, Options{Seed: 1})
+	elapsed := time.Since(t0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Generous bound (the full search takes far longer): the point is
+	// that cancellation does not wait out the remaining II ladder.
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v to take effect", elapsed)
+	}
+}
+
+func TestMapCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MapCtx(ctx, chainDFG(6), arch.Preset4x4(), Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

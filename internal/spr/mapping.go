@@ -115,9 +115,11 @@ func Map(d *dfg.Graph, a *arch.CGRA, opts Options) (*Result, error) {
 }
 
 // MapCtx is Map with cancellation: the context is checked between II
-// attempts and annealing restarts (the units of work that bound how
-// long a runaway search can continue past cancellation), and
-// ctx.Err() is returned once it fires.
+// attempts and annealing restarts, and inside each attempt between
+// annealing temperature steps, between PathFinder iterations, and
+// every few annealing moves (the units of work that bound how long a
+// runaway search can continue past cancellation), and ctx.Err() is
+// returned once it fires.
 func MapCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, opts Options) (*Result, error) {
 	if err := d.Freeze(); err != nil {
 		return nil, err
@@ -162,7 +164,7 @@ func MapCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, opts Options) (*Res
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			att, st, err := attemptII(d, a, ii, restart, &opts)
+			att, st, err := attemptII(ctx, d, a, ii, restart, &opts)
 			if err != nil {
 				return nil, err
 			}
@@ -193,7 +195,7 @@ func MapCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, opts Options) (*Res
 
 // attemptII runs one place/route/anneal attempt at a fixed II. The
 // returned state is nil when initial placement failed.
-func attemptII(d *dfg.Graph, a *arch.CGRA, ii, restart int, opts *Options) (AttemptStats, *state, error) {
+func attemptII(ctx context.Context, d *dfg.Graph, a *arch.CGRA, ii, restart int, opts *Options) (AttemptStats, *state, error) {
 	seeded := *opts
 	seeded.Seed = opts.Seed + int64(restart)*7907
 	seeded.placementJitter = 0.4 * float64(restart)
@@ -201,6 +203,7 @@ func attemptII(d *dfg.Graph, a *arch.CGRA, ii, restart int, opts *Options) (Atte
 	if err != nil {
 		return AttemptStats{}, nil, err
 	}
+	st.ctx = ctx
 	att := AttemptStats{II: ii}
 	if !st.initialPlacement() {
 		att.FailReason = st.failReason
@@ -209,6 +212,11 @@ func attemptII(d *dfg.Graph, a *arch.CGRA, ii, restart int, opts *Options) (Atte
 	att.Placed = true
 	st.buildSignals()
 	st.routeAll()
+	// A cancelled routeAll leaves sinks unattempted (and uncounted), so
+	// the state must not be trusted past this point.
+	if err := ctx.Err(); err != nil {
+		return att, nil, err
+	}
 
 	// A mapping drowning in congestion after full negotiation will not
 	// be rescued by annealing; escalate the II instead of boiling the
@@ -222,6 +230,9 @@ func attemptII(d *dfg.Graph, a *arch.CGRA, ii, restart int, opts *Options) (Atte
 	temp := seeded.SAInitTemp
 	stagnant, bestBad := 0, st.badness()
 	for st.badness() > 0 && temp > seeded.SAMinTemp {
+		if err := ctx.Err(); err != nil {
+			return att, nil, err
+		}
 		att.SASteps += st.saRound(temp)
 		st.pathFinderIterations(3)
 		temp *= seeded.SACooling
@@ -234,6 +245,9 @@ func attemptII(d *dfg.Graph, a *arch.CGRA, ii, restart int, opts *Options) (Atte
 	// Endgame: a handful of residual conflicts often yields to a long
 	// negotiation round even when annealing has stagnated.
 	if b := st.badness(); b > 0 && b <= 12 {
+		if err := ctx.Err(); err != nil {
+			return att, nil, err
+		}
 		st.pathFinderIterations(40)
 	}
 	if debugOveruse && st.badness() > 0 {

@@ -343,6 +343,9 @@ func (st *state) routeAll() {
 		}
 	}
 	for _, sig := range st.signals {
+		if st.cancelled() {
+			return
+		}
 		for i := range sig.sinks {
 			if !st.routeSink(sig, i) {
 				st.unrouted++
@@ -358,6 +361,9 @@ func (st *state) routeAll() {
 func (st *state) pathFinderIterations(k int) {
 	for iter := 0; iter < k; iter++ {
 		if st.badness() == 0 {
+			return
+		}
+		if st.cancelled() {
 			return
 		}
 		st.presFac = math.Min(st.presFac*1.4, 64)

@@ -1,6 +1,7 @@
 package spr
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -9,6 +10,13 @@ import (
 	"panorama/internal/dfg"
 	"panorama/internal/mrrg"
 )
+
+// cancelled reports whether the attempt's context has fired; inner
+// loops use it to bail out early and leave error reporting to the
+// ctx.Err() checks in attemptII/MapCtx.
+func (st *state) cancelled() bool {
+	return st.ctx != nil && st.ctx.Err() != nil
+}
 
 // sink is one consumer of a signal.
 type sink struct {
@@ -32,6 +40,9 @@ type state struct {
 	g    *mrrg.Graph
 	ii   int
 	opts *Options
+	// ctx, when set, lets the router and annealer bail out of their
+	// inner loops early; attemptII surfaces the actual ctx.Err().
+	ctx context.Context
 
 	maxDelta int
 	placePE  []int

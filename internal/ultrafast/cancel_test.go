@@ -1,0 +1,47 @@
+package ultrafast
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"panorama/internal/arch"
+	"panorama/internal/kernels"
+)
+
+// TestMapCtxCancelMidSearch cancels the context during the II search
+// and asserts the mapper returns ctx.Err() within a bounded latency (a
+// single greedy II pass at worst).
+func TestMapCtxCancelMidSearch(t *testing.T) {
+	spec, err := kernels.ByName("conv2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := spec.Build(0.5)
+	a := arch.Preset8x8()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	_, err = MapCtx(ctx, d, a, Options{})
+	elapsed := time.Since(t0)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled or clean completion", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v to take effect", elapsed)
+	}
+}
+
+func TestMapCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MapCtx(ctx, chainDFG(6), arch.Preset4x4(), Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
