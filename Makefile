@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build test vet race bench check-fault
+.PHONY: check build test vet race bench check-fault check-service
 
 # The repository's verification gate: vet, build everything, then the
 # full test suite with the race detector (the parallel pipeline and
-# harness paths all run under it), plus the fault-injection matrix.
-check: vet build race check-fault
+# harness paths all run under it), plus the fault-injection matrix and
+# the service-layer contract tests.
+check: vet build race check-fault check-service
 
 # The fault matrix: every failure site (eigensolve, k-means, ILP,
 # greedy, lower mapper) is armed in turn and the pipeline must degrade
@@ -14,6 +15,14 @@ check-fault:
 	$(GO) test -race ./internal/faultinject/ ./internal/failure/
 	$(GO) test -race -run 'TestFaultMatrix|TestRealBudgets|TestILPToGreedyRung|TestGreedyFailureIsTyped|TestRunRecoversPanics' \
 		./internal/core/ ./internal/clustermap/ ./internal/pool/
+
+# The service contracts: exactly-once coalescing under racing clients,
+# deterministic admission control, graceful-shutdown drain, typed
+# failure→status-code mapping, cache persistence, and the end-to-end
+# cache-hit latency bound — all under the race detector.
+check-service:
+	$(GO) test -race ./internal/service/ ./internal/dfg/
+	$(GO) test -race -run 'TestMapSummaryUsesCache|TestCompareCachedMatchesFresh' ./internal/bench/
 
 build:
 	$(GO) build ./...

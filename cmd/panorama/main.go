@@ -22,6 +22,7 @@ import (
 	"panorama/internal/dfg"
 	"panorama/internal/failure"
 	"panorama/internal/kernels"
+	"panorama/internal/service"
 	"panorama/internal/sim"
 	"panorama/internal/spr"
 	"panorama/internal/viz"
@@ -38,6 +39,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		workers    = flag.Int("j", 0, "pipeline worker pool size (0 = one per CPU, 1 = serial); pan mappers only")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the whole mapping, e.g. 30s (0 = unbounded); on expiry the best partial result and the exhausted stage are reported")
+		cacheDir   = flag.String("cache-dir", "", "persistent result cache directory shared with panoramad; repeated invocations of the same kernel/arch/config are served from it (ignored when -show-schedule, -verify, -report or -out need a full mapping)")
 		list       = flag.Bool("list", false, "list benchmark kernels and exit")
 		showSched  = flag.Bool("show-schedule", false, "print the time-extended schedule (SPR mappers)")
 		showClus   = flag.Bool("show-clusters", true, "print the cluster mapping grid (pan mappers)")
@@ -76,6 +78,24 @@ func main() {
 		defer cancel()
 	}
 
+	// The persistent cache is only consulted when the run needs no
+	// mapping artifacts beyond the summary (routes, schedules and
+	// programs are not cached).
+	var cache *service.Cache
+	var fp string
+	if *cacheDir != "" && !*showSched && !*verify && !*report && *outFile == "" {
+		var cerr error
+		cache, cerr = service.NewCache(0, *cacheDir)
+		if cerr != nil {
+			fatal(cerr)
+		}
+		fp = service.Key(g, a, *mapper, *seed, core.Budgets{Total: *timeout})
+		if e, ok := cache.Get(fp); ok {
+			reportCached(e.Summary)
+			return
+		}
+	}
+
 	start := time.Now()
 	var res *core.Result
 	var sprRes *spr.Result
@@ -106,6 +126,14 @@ func main() {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
+
+	if cache != nil {
+		// Clean runs — successful or provably unsuccessful — are
+		// deterministic, so both are worth remembering.
+		if cerr := cache.Put(service.Entry{Fingerprint: fp, Summary: res.Summarize()}); cerr != nil {
+			fmt.Fprintln(os.Stderr, "panorama: cache:", cerr)
+		}
+	}
 
 	if !res.Lower.Success {
 		fmt.Printf("mapping FAILED (MII %d) after %v\n", res.Lower.MII, elapsed.Round(time.Millisecond))
@@ -170,6 +198,20 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote mapping + configuration program to %s\n", *outFile)
+	}
+}
+
+// reportCached prints a result served from the persistent cache in the
+// shape of a fresh run, plus where the time originally went.
+func reportCached(s core.Summary) {
+	if !s.Success {
+		fmt.Printf("cache hit: mapping FAILED (MII %d) in the original run (%.0fms)\n", s.MII, s.TotalMS)
+		os.Exit(2)
+	}
+	fmt.Printf("cache hit: mapped at II=%d (MII %d, QoM %.2f); original run took %.0fms (clustering %.0f, clustermap %.0f, lower %.0f)\n",
+		s.II, s.MII, s.QoM, s.TotalMS, s.ClusteringMS, s.ClusterMapMS, s.LowerMS)
+	if s.PartitionK > 0 {
+		fmt.Printf("clustering: K=%d (guidance: %s)\n", s.PartitionK, s.Guidance)
 	}
 }
 

@@ -1,0 +1,102 @@
+// Command panoramad serves the Panorama mapper as a long-running
+// HTTP/JSON daemon: mapping jobs are queued with admission control,
+// coalesced when identical, executed on a bounded worker set under the
+// budget ladder, and served from a content-addressed result cache
+// (optionally persisted across restarts with -cache-dir).
+//
+// Usage:
+//
+//	panoramad -addr :8080 -cache-dir /var/cache/panorama -queue 64 -timeout 2m
+//
+// Endpoints:
+//
+//	POST /v1/map         submit a job ({"kernel":"fir","arch":"8x8",...});
+//	                     "wait":true blocks for the outcome
+//	GET  /v1/jobs/{id}   job status/result (?wait=1 blocks)
+//	GET  /v1/result/{fp} cached result by fingerprint
+//	GET  /healthz        liveness; GET /statsz counters
+//
+// SIGINT/SIGTERM starts a graceful shutdown: listeners close, queued
+// and in-flight jobs drain within -drain, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"panorama/internal/core"
+	"panorama/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		cacheDir  = flag.String("cache-dir", "", "persist the result cache here (empty = memory only)")
+		cacheSize = flag.Int("cache-size", service.DefaultCacheSize, "in-memory cache entries")
+		workers   = flag.Int("workers", 1, "jobs mapped concurrently")
+		queue     = flag.Int("queue", 16, "job queue depth; a full queue answers 429")
+		pipelineJ = flag.Int("j", 0, "worker-pool width inside each pipeline (0 = one per CPU, 1 = serial)")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "default per-job wall-clock budget (requests may lower it via timeoutMS); 0 = unbounded")
+		drain     = flag.Duration("drain", 0, "graceful-shutdown drain budget; 0 = the per-job -timeout")
+		retry     = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+	)
+	flag.Parse()
+
+	srv, err := service.New(service.Options{
+		Workers:         *workers,
+		QueueSize:       *queue,
+		PipelineWorkers: *pipelineJ,
+		CacheSize:       *cacheSize,
+		CacheDir:        *cacheDir,
+		Budgets:         core.Budgets{Total: *timeout},
+		RetryAfter:      *retry,
+	})
+	if err != nil {
+		log.Fatalf("panoramad: %v", err)
+	}
+	if *cacheDir != "" {
+		log.Printf("panoramad: cache dir %s (%d entries loaded)", *cacheDir, srv.Cache().Len())
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("panoramad: listening on %s (workers=%d queue=%d timeout=%v)", *addr, *workers, *queue, *timeout)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatalf("panoramad: %v", err)
+	case s := <-sig:
+		log.Printf("panoramad: %v — draining", s)
+	}
+
+	// Stop accepting connections, then drain the job queue within the
+	// total budget (the service cancels stragglers at the deadline).
+	drainBudget := *drain
+	if drainBudget <= 0 {
+		drainBudget = *timeout
+	}
+	if drainBudget <= 0 {
+		drainBudget = time.Minute
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drainBudget)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("panoramad: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "panoramad: drain incomplete: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("panoramad: drained cleanly")
+}

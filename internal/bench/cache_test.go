@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"panorama/internal/core"
+	"panorama/internal/service"
+)
+
+// TestMapSummaryUsesCache proves the harness actually serves repeated
+// configurations from cfg.Cache: after the first run populates the
+// cache, its entry is overwritten with a sentinel II that no real
+// pipeline would produce, and the re-run must report the sentinel.
+func memCache(t *testing.T) *service.Cache {
+	t.Helper()
+	c, err := service.NewCache(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestMapSummaryUsesCache(t *testing.T) {
+	cfg := tiny()
+	cfg.Cache = memCache(t)
+	g, err := cfg.buildKernel("fir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := cfg.Arch()
+	lower := cfg.ultraFastLower()
+	ctx := context.Background()
+
+	first, err := cfg.mapSummary(ctx, g, a, lower, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Success {
+		t.Fatalf("tiny fir failed on 8x8: %+v", first)
+	}
+	if cfg.Cache.Len() != 1 {
+		t.Fatalf("cache entries = %d, want 1", cfg.Cache.Len())
+	}
+
+	fp := service.Key(g, a, lower.Name(), cfg.Seed, core.Budgets{Total: cfg.Timeout})
+	if _, ok := cfg.Cache.Get(fp); !ok {
+		t.Fatal("mapSummary cached under a different key than service.Key computes")
+	}
+	sentinel := first
+	sentinel.II = 999
+	if err := cfg.Cache.Put(service.Entry{Fingerprint: fp, Summary: sentinel}); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := cfg.mapSummary(ctx, g, a, lower, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.II != 999 {
+		t.Fatalf("II = %d, want the 999 sentinel: mapSummary re-ran the pipeline instead of hitting the cache", second.II)
+	}
+
+	// The pan-prefixed mapper must key separately from the baseline.
+	pan, err := cfg.mapSummary(ctx, g, a, lower, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pan.II == 999 {
+		t.Fatal("pan run hit the baseline's cache entry")
+	}
+	if cfg.Cache.Len() != 2 {
+		t.Fatalf("cache entries = %d, want 2 (baseline + pan)", cfg.Cache.Len())
+	}
+}
+
+// TestCompareCachedMatchesFresh checks the acceptance contract of the
+// Cache field: tables built from cached rows equal tables built fresh.
+func TestCompareCachedMatchesFresh(t *testing.T) {
+	cfg := tiny()
+	cfg.Kernels = []string{"fir"}
+
+	fresh, err := Figure9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Cache = memCache(t)
+	warm, err := Figure9(cfg) // populates the cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := Figure9(cfg) // must be served entirely from it
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := stripCompareTimings(fresh)
+	w := stripCompareTimings(warm)
+	c := stripCompareTimings(cached)
+	for i := range f {
+		if f[i] != w[i] || w[i] != c[i] {
+			t.Fatalf("rows diverge:\nfresh:  %+v\nwarm:   %+v\ncached: %+v", f[i], w[i], c[i])
+		}
+	}
+	// Cached Sec fields come from the original run's recorded wall
+	// times, so they equal the warm run's values exactly.
+	if warm[0].BaseSec != cached[0].BaseSec || warm[0].PanSec != cached[0].PanSec {
+		t.Fatalf("cached timings should replay the original run: warm %+v cached %+v", warm[0], cached[0])
+	}
+}

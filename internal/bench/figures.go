@@ -109,23 +109,23 @@ func compare(cfg Config, lower core.Lower) ([]CompareRow, error) {
 			return CompareRow{}, err
 		}
 		row := CompareRow{Kernel: name}
-		base, err := core.MapBaselineCtx(ctx, g, a, lower)
+		base, err := cfg.mapSummary(ctx, g, a, lower, false)
 		row.BaseStatus = status(ctx, err)
 		if err == nil {
-			row.MII = base.Lower.MII
-			row.BaseII = base.Lower.II
-			row.BaseQoM = base.Lower.QoM
-			row.BaseSec = base.TotalTime().Seconds()
+			row.MII = base.MII
+			row.BaseII = base.II
+			row.BaseQoM = base.QoM
+			row.BaseSec = base.TotalMS / 1000
 		}
-		pan, err := core.MapPanoramaCtx(ctx, g, a, lower, cfg.panoramaConfig())
+		pan, err := cfg.mapSummary(ctx, g, a, lower, true)
 		row.PanStatus = status(ctx, err)
 		if err == nil {
-			row.MII = pan.Lower.MII
-			row.PanII = pan.Lower.II
-			row.PanQoM = pan.Lower.QoM
-			row.PanSec = pan.TotalTime().Seconds()
-			row.Relaxed = pan.Relaxed
-			row.FellBack = pan.FellBack
+			row.MII = pan.MII
+			row.PanII = pan.II
+			row.PanQoM = pan.QoM
+			row.PanSec = pan.TotalMS / 1000
+			row.Relaxed = pan.Relaxed()
+			row.FellBack = pan.FellBack()
 		}
 		return row, nil
 	})
@@ -208,23 +208,13 @@ func Figure8(cfg Config) ([]Fig8Row, error) {
 			if archPick == "small" {
 				a = small
 			}
-			var ii int
-			if pan {
-				res, err := core.MapPanoramaCtx(ctx, g, a, lower, cfg.panoramaConfig())
-				if err != nil || !res.Lower.Success {
-					return 0, err
-				}
-				ii = res.Lower.II
-			} else {
-				res, err := core.MapBaselineCtx(ctx, g, a, lower)
-				if err != nil || !res.Lower.Success {
-					return 0, err
-				}
-				ii = res.Lower.II
+			sum, err := cfg.mapSummary(ctx, g, a, lower, pan)
+			if err != nil || !sum.Success {
+				return 0, err
 			}
 			return model.Efficiency(
 				power.Arch{PEs: a.NumPEs(), Clusters: a.NumClusters()},
-				power.MappingStats{Ops: g.NumNodes(), II: ii},
+				power.MappingStats{Ops: g.NumNodes(), II: sum.II},
 				100)
 		}
 		if row.SmallBase, err = eff("small", false); err != nil {

@@ -100,11 +100,13 @@ type Budgets struct {
 	Total      time.Duration // whole-pipeline deadline
 }
 
-// StageRecord is one pipeline stage's provenance entry.
+// StageRecord is one pipeline stage's provenance entry. The JSON form
+// is part of the service wire format (see Summary), so the field tags
+// are stable.
 type StageRecord struct {
-	Stage string        // "clustering", "clustermap", "lower"
-	Wall  time.Duration // wall-clock spent in the stage
-	Note  string        // what the stage settled for ("", "budgeted: best-so-far", rung name, ...)
+	Stage string        `json:"stage"`          // "clustering", "clustermap", "lower"
+	Wall  time.Duration `json:"wallNS"`         // wall-clock spent in the stage
+	Note  string        `json:"note,omitempty"` // what the stage settled for ("", "budgeted: best-so-far", rung name, ...)
 }
 
 // Provenance records how a Result was produced: per-stage wall time

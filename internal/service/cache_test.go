@@ -1,0 +1,159 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"panorama/internal/core"
+)
+
+func entry(fp string, ii int) Entry {
+	return Entry{Fingerprint: fp, Summary: core.Summary{Kernel: fp, Success: true, II: ii, MII: ii}}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := NewCache(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fp := range []string{"a", "b"} {
+		if err := c.Put(entry(fp, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch "a" so "b" is the LRU victim.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	if err := c.Put(entry("c", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as least recently used")
+	}
+	for _, fp := range []string{"a", "c"} {
+		if _, ok := c.Get(fp); !ok {
+			t.Fatalf("%s missing after eviction", fp)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+
+	// Re-putting an existing key updates in place without eviction.
+	if err := c.Put(entry("a", 7)); err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := c.Get("a"); e.Summary.II != 7 {
+		t.Fatalf("update in place failed: II = %d", e.Summary.II)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d after update, want 2", c.Len())
+	}
+}
+
+func TestCacheDiskPersistence(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(entry("deadbeef", 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Atomic write: the entry file exists, no temp droppings remain.
+	if _, err := os.Stat(filepath.Join(dir, "deadbeef.json")); err != nil {
+		t.Fatalf("persisted file missing: %v", err)
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if strings.HasSuffix(de.Name(), ".tmp") {
+			t.Fatalf("stray temp file %s after Put", de.Name())
+		}
+	}
+
+	// A fresh cache on the same directory serves the entry (load-on-start).
+	c2, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := c2.Get("deadbeef")
+	if !ok {
+		t.Fatal("entry not loaded from disk")
+	}
+	if !e.Summary.Success || e.Summary.II != 3 {
+		t.Fatalf("loaded entry corrupted: %+v", e.Summary)
+	}
+}
+
+func TestCacheLoadSkipsCorruptAndForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(entry("good", 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt JSON, a file whose name disagrees with its content, and a
+	// non-JSON file must not break startup or leak entries.
+	if err := os.WriteFile(filepath.Join(dir, "corrupt.json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "good.json"))
+	if err := os.WriteFile(filepath.Join(dir, "renamed.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not a cache entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatalf("load with corrupt files failed: %v", err)
+	}
+	if _, ok := c2.Get("good"); !ok {
+		t.Fatal("good entry lost")
+	}
+	if c2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (corrupt/foreign files must be skipped)", c2.Len())
+	}
+}
+
+func TestCacheLoadKeepsNewestWithinCapacity(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now().Add(-time.Hour)
+	for i, fp := range []string{"old", "mid", "new"} {
+		if err := c.Put(entry(fp, i+1)); err != nil {
+			t.Fatal(err)
+		}
+		// Separate the mtimes well beyond filesystem resolution.
+		mt := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, fp+".json"), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c2, err := NewCache(2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get("old"); ok {
+		t.Fatal("oldest entry should not be loaded past capacity")
+	}
+	for _, fp := range []string{"mid", "new"} {
+		if _, ok := c2.Get(fp); !ok {
+			t.Fatalf("%s missing: newest entries must survive a capped load", fp)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"panorama/internal/core"
+	"panorama/internal/failure"
+)
+
+// StatusClientClosedRequest is the nginx-convention status for a job
+// whose computation was cancelled (no standard code exists).
+const StatusClientClosedRequest = 499
+
+// ErrorInfo is the wire form of a typed failure: Class is the failure
+// taxonomy bucket the HTTP status was derived from, Stage the pipeline
+// stage that produced it (when known).
+type ErrorInfo struct {
+	Class   string `json:"class"` // budget, cancelled, infeasible, lower-failed, panic, internal
+	Stage   string `json:"stage,omitempty"`
+	Message string `json:"message"`
+}
+
+// JobView is the wire form of a job (POST /v1/map and GET /v1/jobs).
+type JobView struct {
+	ID          string        `json:"id"`
+	Fingerprint string        `json:"fingerprint"`
+	Mapper      string        `json:"mapper"`
+	Seed        int64         `json:"seed,omitempty"`
+	Status      JobStatus     `json:"status"`
+	Cache       string        `json:"cache,omitempty"` // "hit" or "coalesced"
+	Result      *core.Summary `json:"result,omitempty"`
+	Error       *ErrorInfo    `json:"error,omitempty"`
+	QueuedMS    float64       `json:"queuedMS,omitempty"`
+	RunMS       float64       `json:"runMS,omitempty"`
+}
+
+// View snapshots the job for the wire.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:          j.ID,
+		Fingerprint: j.Fingerprint,
+		Mapper:      j.Mapper,
+		Seed:        j.Seed,
+		Status:      j.status,
+		Result:      j.summary,
+	}
+	if j.err != nil {
+		v.Error = &ErrorInfo{
+			Class:   failureClass(j.err),
+			Stage:   failure.StageOf(j.err),
+			Message: j.err.Error(),
+		}
+	}
+	if !j.started.IsZero() {
+		v.QueuedMS = float64(j.started.Sub(j.created)) / float64(time.Millisecond)
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		v.RunMS = float64(end.Sub(j.started)) / float64(time.Millisecond)
+	}
+	return v
+}
+
+// failureClass buckets an error by the failure taxonomy.
+func failureClass(err error) string {
+	var pe *failure.PanicError
+	switch {
+	case failure.IsBudget(err):
+		return "budget"
+	case failure.IsCancelled(err):
+		return "cancelled"
+	case failure.IsInfeasible(err):
+		return "infeasible"
+	case errors.Is(err, failure.ErrLowerFailed):
+		return "lower-failed"
+	case errors.As(err, &pe):
+		return "panic"
+	default:
+		return "internal"
+	}
+}
+
+// failureStatus maps the failure taxonomy onto distinct HTTP statuses:
+// budget → 504, cancelled → 499, infeasible → 422, everything else
+// (lower-failed, panics, internal errors) → 500.
+func failureStatus(err error) int {
+	switch {
+	case failure.IsBudget(err):
+		return http.StatusGatewayTimeout
+	case failure.IsCancelled(err):
+		return StatusClientClosedRequest
+	case failure.IsInfeasible(err):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /v1/map        submit a job (cache hit → 200, queued → 202,
+//	                    wait=true blocks for the outcome)
+//	GET  /v1/jobs/{id}  job status/result; ?wait=1 blocks until done
+//	GET  /v1/result/{fp} cached result by fingerprint
+//	GET  /healthz       liveness ("ok", or "draining" during shutdown)
+//	GET  /statsz        cache/queue/failure counters (JSON)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/map", s.handleMap)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/result/{fp}", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /statsz", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad-request", err)
+		return
+	}
+	res, err := s.resolve(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad-request", err)
+		return
+	}
+	out, err := s.submit(res)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.opts.RetryAfter+time.Second-1)/time.Second)))
+		httpError(w, http.StatusTooManyRequests, "overloaded", err)
+		return
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, "draining", err)
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "internal", err)
+		return
+	}
+
+	if out.Entry != nil {
+		writeJSON(w, http.StatusOK, JobView{
+			Fingerprint: out.Entry.Fingerprint,
+			Mapper:      res.mapper,
+			Seed:        res.seed,
+			Status:      JobDone,
+			Cache:       "hit",
+			Result:      &out.Entry.Summary,
+		})
+		return
+	}
+
+	job := out.Job
+	cacheNote := ""
+	if out.Coalesced {
+		cacheNote = "coalesced"
+	}
+	if res.wait {
+		select {
+		case <-job.Done():
+			s.writeJobOutcome(w, job, cacheNote)
+		case <-r.Context().Done():
+			// The client went away mid-wait; the job keeps running and
+			// remains pollable.
+			v := job.View()
+			v.Cache = cacheNote
+			writeJSON(w, http.StatusAccepted, v)
+		}
+		return
+	}
+	v := job.View()
+	v.Cache = cacheNote
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "not-found", fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		select {
+		case <-job.Done():
+		case <-r.Context().Done():
+		}
+	}
+	select {
+	case <-job.Done():
+		s.writeJobOutcome(w, job, "")
+	default:
+		writeJSON(w, http.StatusAccepted, job.View())
+	}
+}
+
+// writeJobOutcome renders a finished job: 200 on success, the typed
+// failure's status otherwise.
+func (s *Server) writeJobOutcome(w http.ResponseWriter, job *Job, cacheNote string) {
+	v := job.View()
+	v.Cache = cacheNote
+	if err := job.Err(); err != nil {
+		writeJSON(w, failureStatus(err), v)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fp")
+	e, ok := s.cache.Get(fp)
+	if !ok {
+		httpError(w, http.StatusNotFound, "not-found", fmt.Errorf("no cached result for %q", fp))
+		return
+	}
+	writeJSON(w, http.StatusOK, e)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, class string, err error) {
+	writeJSON(w, status, map[string]any{
+		"error": ErrorInfo{Class: class, Message: err.Error()},
+	})
+}

@@ -1,0 +1,147 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"panorama/internal/arch"
+	"panorama/internal/core"
+	"panorama/internal/dfg"
+	"panorama/internal/kernels"
+)
+
+// Request is the POST /v1/map wire format. Exactly one of Kernel or
+// DFG selects the graph; Arch names a preset unless ArchDesc carries a
+// full architecture description (the same JSON the -arch-file CLI flag
+// accepts).
+type Request struct {
+	Kernel string          `json:"kernel,omitempty"`
+	Scale  float64         `json:"scale,omitempty"` // kernel scale factor, default 1.0
+	DFG    json.RawMessage `json:"dfg,omitempty"`
+
+	Arch     string          `json:"arch,omitempty"` // preset: 4x4, 8x8, 9x9, 16x16
+	ArchDesc json.RawMessage `json:"archDesc,omitempty"`
+
+	Mapper    string `json:"mapper,omitempty"` // spr, pan-spr, ultrafast, pan-ultrafast (default pan-spr)
+	Seed      int64  `json:"seed,omitempty"`
+	TimeoutMS int64  `json:"timeoutMS,omitempty"` // job Budgets.Total override; 0 = server default
+
+	// Wait makes POST /v1/map block until the job finishes (bounded by
+	// the client's connection); otherwise a queued job returns 202
+	// immediately.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// Mappers lists the accepted Request.Mapper values.
+var Mappers = []string{"spr", "pan-spr", "ultrafast", "pan-ultrafast"}
+
+// resolved is a fully-validated request: graph and architecture
+// instantiated, mapper checked, budgets decided, fingerprint computed.
+type resolved struct {
+	graph       *dfg.Graph
+	arch        *arch.CGRA
+	mapper      string
+	seed        int64
+	budgets     core.Budgets
+	fingerprint string
+	wait        bool
+}
+
+// resolve validates the wire request against the server defaults. The
+// returned error is a client error (http 400) unless it wraps an
+// internal failure.
+func (s *Server) resolve(req *Request) (*resolved, error) {
+	var g *dfg.Graph
+	switch {
+	case len(req.DFG) > 0 && req.Kernel != "":
+		return nil, fmt.Errorf("request has both kernel and dfg; pick one")
+	case len(req.DFG) > 0:
+		g = new(dfg.Graph)
+		if err := json.Unmarshal(req.DFG, g); err != nil {
+			return nil, fmt.Errorf("parsing dfg: %w", err)
+		}
+	case req.Kernel != "":
+		spec, err := kernels.ByName(req.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		scale := req.Scale
+		if scale <= 0 {
+			scale = 1.0
+		}
+		g = spec.Build(scale)
+	default:
+		return nil, fmt.Errorf("request needs a kernel name or an inline dfg")
+	}
+	if err := g.Freeze(); err != nil {
+		return nil, err
+	}
+
+	var a *arch.CGRA
+	switch {
+	case len(req.ArchDesc) > 0:
+		var err error
+		a, err = arch.ReadJSON(bytes.NewReader(req.ArchDesc))
+		if err != nil {
+			return nil, err
+		}
+	default:
+		name := req.Arch
+		if name == "" {
+			name = "8x8"
+		}
+		var err error
+		a, err = archPreset(name)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	mapper := req.Mapper
+	if mapper == "" {
+		mapper = "pan-spr"
+	}
+	if !validMapper(mapper) {
+		return nil, fmt.Errorf("unknown mapper %q (want one of %v)", mapper, Mappers)
+	}
+
+	budgets := s.opts.Budgets
+	if req.TimeoutMS > 0 {
+		budgets.Total = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+
+	return &resolved{
+		graph:       g,
+		arch:        a,
+		mapper:      mapper,
+		seed:        req.Seed,
+		budgets:     budgets,
+		fingerprint: Key(g, a, mapper, req.Seed, budgets),
+		wait:        req.Wait,
+	}, nil
+}
+
+func validMapper(name string) bool {
+	for _, m := range Mappers {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+func archPreset(name string) (*arch.CGRA, error) {
+	switch name {
+	case "4x4":
+		return arch.Preset4x4(), nil
+	case "8x8":
+		return arch.Preset8x8(), nil
+	case "9x9":
+		return arch.Preset9x9(), nil
+	case "16x16":
+		return arch.Preset16x16(), nil
+	}
+	return nil, fmt.Errorf("unknown architecture %q (want 4x4, 8x8, 9x9, 16x16)", name)
+}

@@ -1,0 +1,362 @@
+// Package service turns the Panorama mapping pipeline into a
+// long-running mapping-as-a-service daemon: solver-based CGRA mapping
+// is an expensive, deterministic computation, so it is compiled once
+// and served many times.
+//
+// The server accepts mapping jobs (a named kernel or an inline DFG,
+// plus architecture and mapper configuration), runs them on a bounded
+// worker set under the PR-2 budget ladder, and serves results from a
+// content-addressed cache keyed by a canonical fingerprint of
+// (DFG, arch params, mapper+seed, budgets, code version). Concurrent
+// identical submissions coalesce onto one computation (singleflight),
+// a bounded queue applies admission control (ErrOverloaded → 429), and
+// Shutdown drains in-flight jobs within the caller's deadline. See
+// http.go for the endpoint surface and DESIGN.md "Service layer".
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"panorama/internal/core"
+	"panorama/internal/spr"
+	"panorama/internal/ultrafast"
+)
+
+// Admission and lifecycle sentinels, mapped onto HTTP status codes by
+// the handler layer (429 and 503 respectively).
+var (
+	ErrOverloaded = errors.New("service: queue full")
+	ErrDraining   = errors.New("service: shutting down")
+)
+
+// RunFunc executes one mapping job and returns its summary. The
+// default (nil) runs the real Panorama pipeline; tests and alternative
+// backends substitute their own.
+type RunFunc func(ctx context.Context, job *Job) (core.Summary, error)
+
+// Options tunes a Server.
+type Options struct {
+	// Workers is the number of jobs mapped concurrently (default 1:
+	// mapping saturates cores by itself via PipelineWorkers).
+	Workers int
+	// QueueSize bounds the jobs waiting behind the running ones;
+	// a full queue rejects submissions with ErrOverloaded (default 16).
+	QueueSize int
+	// PipelineWorkers is the worker-pool width inside each pipeline
+	// (core.Config.Workers): 0 = one per CPU, 1 = serial.
+	PipelineWorkers int
+	// CacheSize is the in-memory LRU capacity (default
+	// DefaultCacheSize); CacheDir enables disk persistence.
+	CacheSize int
+	CacheDir  string
+	// Budgets is the default budget ladder applied to every job; a
+	// request's timeoutMS overrides Budgets.Total.
+	Budgets core.Budgets
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// Run substitutes the job executor (tests, alternative backends).
+	Run RunFunc
+}
+
+// JobStatus is the lifecycle of a Job.
+type JobStatus string
+
+// Job lifecycle states.
+const (
+	JobQueued  JobStatus = "queued"
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+	JobFailed  JobStatus = "failed"
+)
+
+// Job is one accepted mapping computation. The identity fields are
+// immutable; the outcome fields are guarded by mu and published by
+// View (and by the done channel for waiters).
+type Job struct {
+	ID          string
+	Fingerprint string
+	Mapper      string
+	Seed        int64
+	Budgets     core.Budgets
+
+	req *resolved
+
+	mu       sync.Mutex
+	status   JobStatus
+	summary  *core.Summary
+	err      error
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	done chan struct{} // closed when the job reaches done/failed
+}
+
+// Done returns a channel closed when the job finishes.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Err returns the job's terminal error (nil while running or on
+// success).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Summary returns the job's result summary; ok is false until the job
+// has one (a failed job may still carry the partial summary the
+// pipeline salvaged).
+func (j *Job) Summary() (core.Summary, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.summary == nil {
+		return core.Summary{}, false
+	}
+	return *j.summary, true
+}
+
+// Server is the mapping-as-a-service engine, independent of its HTTP
+// skin (http.go) so tests and embedders can drive it directly.
+type Server struct {
+	opts  Options
+	cache *Cache
+	stats stats
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job // by job id
+	flight   map[string]*Job // by fingerprint: queued or running
+	draining bool
+	nextID   int
+
+	queue   chan *Job
+	running atomic.Int64
+	wg      sync.WaitGroup
+}
+
+// New builds and starts a server (its workers run until Shutdown).
+func New(opts Options) (*Server, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.QueueSize <= 0 {
+		opts.QueueSize = 16
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = time.Second
+	}
+	cache, err := NewCache(opts.CacheSize, opts.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:   opts,
+		cache:  cache,
+		jobs:   make(map[string]*Job),
+		flight: make(map[string]*Job),
+		queue:  make(chan *Job, opts.QueueSize),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	if s.opts.Run == nil {
+		s.opts.Run = s.runPipeline
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for job := range s.queue {
+				s.runJob(job)
+			}
+		}()
+	}
+	return s, nil
+}
+
+// Cache exposes the server's result cache (read-mostly: /v1/result,
+// stats, tests).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Outcome is what a submission produced: exactly one of Entry (cache
+// hit) or Job (new or coalesced computation) is set.
+type Outcome struct {
+	Entry     *Entry
+	Job       *Job
+	Coalesced bool
+}
+
+// submit runs admission for a resolved request: cache lookup, then
+// coalescing onto an identical in-flight job, then a bounded enqueue.
+func (s *Server) submit(req *resolved) (Outcome, error) {
+	if e, ok := s.cache.Get(req.fingerprint); ok {
+		s.stats.submitted.Add(1)
+		s.stats.hits.Add(1)
+		return Outcome{Entry: &e}, nil
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return Outcome{}, ErrDraining
+	}
+	if job, ok := s.flight[req.fingerprint]; ok {
+		s.mu.Unlock()
+		s.stats.submitted.Add(1)
+		s.stats.coalesced.Add(1)
+		return Outcome{Job: job, Coalesced: true}, nil
+	}
+	s.nextID++
+	job := &Job{
+		ID:          fmt.Sprintf("job-%06d", s.nextID),
+		Fingerprint: req.fingerprint,
+		Mapper:      req.mapper,
+		Seed:        req.seed,
+		Budgets:     req.budgets,
+		req:         req,
+		status:      JobQueued,
+		created:     time.Now(),
+		done:        make(chan struct{}),
+	}
+	s.jobs[job.ID] = job
+	s.flight[job.Fingerprint] = job
+	select {
+	case s.queue <- job:
+	default:
+		// Admission control: the queue is full. Undo the registration
+		// so the rejected job leaves no trace.
+		delete(s.jobs, job.ID)
+		delete(s.flight, job.Fingerprint)
+		s.mu.Unlock()
+		s.stats.rejected.Add(1)
+		return Outcome{}, ErrOverloaded
+	}
+	s.mu.Unlock()
+	s.stats.submitted.Add(1)
+	s.stats.misses.Add(1)
+	return Outcome{Job: job}, nil
+}
+
+// Job returns a previously accepted job by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// runJob executes one dequeued job and publishes its outcome.
+func (s *Server) runJob(job *Job) {
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	job.mu.Lock()
+	job.status = JobRunning
+	job.started = time.Now()
+	job.mu.Unlock()
+	s.stats.executed.Add(1)
+
+	sum, err := s.opts.Run(s.baseCtx, job)
+
+	job.mu.Lock()
+	job.finished = time.Now()
+	if err != nil {
+		job.status = JobFailed
+		job.err = err
+		if sum.Kernel != "" || len(sum.Stages) > 0 {
+			job.summary = &sum // partial result salvaged by the ladder
+		}
+	} else {
+		job.status = JobDone
+		job.summary = &sum
+	}
+	job.mu.Unlock()
+
+	if err == nil {
+		s.stats.completed.Add(1)
+		s.stats.recordStages(sum)
+		if perr := s.cache.Put(Entry{Fingerprint: job.Fingerprint, Summary: sum}); perr != nil {
+			// Persistence is best-effort; the in-memory entry serves.
+			log.Printf("service: %v", perr)
+		}
+	} else {
+		s.stats.recordFailure(err)
+		s.stats.recordStages(sum)
+	}
+
+	s.mu.Lock()
+	delete(s.flight, job.Fingerprint)
+	s.mu.Unlock()
+	close(job.done)
+}
+
+// runPipeline is the default RunFunc: the real Panorama stack, mapper
+// selected by name exactly as in the CLIs.
+func (s *Server) runPipeline(ctx context.Context, job *Job) (core.Summary, error) {
+	req := job.req
+	cfg := core.Config{
+		Seed:           job.Seed,
+		RelaxOnFailure: true,
+		Workers:        s.opts.PipelineWorkers,
+		Budgets:        job.Budgets,
+	}
+	var res *core.Result
+	var err error
+	switch job.Mapper {
+	case "pan-spr":
+		res, err = core.MapPanoramaCtx(ctx, req.graph, req.arch, core.SPRLower{Options: spr.Options{Seed: job.Seed}}, cfg)
+	case "pan-ultrafast":
+		res, err = core.MapPanoramaCtx(ctx, req.graph, req.arch, core.UltraFastLower{Options: ultrafast.Options{}}, cfg)
+	case "spr", "ultrafast":
+		// Baselines take no Config; apply the total budget here.
+		bctx := ctx
+		if job.Budgets.Total > 0 {
+			var cancel context.CancelFunc
+			bctx, cancel = context.WithTimeout(ctx, job.Budgets.Total)
+			defer cancel()
+		}
+		var lower core.Lower = core.SPRLower{Options: spr.Options{Seed: job.Seed}}
+		if job.Mapper == "ultrafast" {
+			lower = core.UltraFastLower{Options: ultrafast.Options{}}
+		}
+		res, err = core.MapBaselineCtx(bctx, req.graph, req.arch, lower)
+	default:
+		return core.Summary{}, fmt.Errorf("unknown mapper %q", job.Mapper)
+	}
+	if res == nil {
+		return core.Summary{}, err
+	}
+	return res.Summarize(), err
+}
+
+// Shutdown stops accepting work, lets queued and in-flight jobs drain,
+// and — if ctx fires first — cancels the remaining jobs' contexts and
+// waits for them to unwind. It returns nil on a clean drain, ctx's
+// error otherwise. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,118 @@
+package service
+
+import (
+	"sync/atomic"
+	"time"
+
+	"panorama/internal/core"
+	"panorama/internal/failure"
+)
+
+// stats is the server's hot-path counter set. Everything is atomic so
+// handlers and workers never contend on a lock for bookkeeping.
+type stats struct {
+	submitted atomic.Int64 // accepted submissions (hit, coalesced or enqueued)
+	rejected  atomic.Int64 // 429s from admission control
+
+	hits      atomic.Int64 // served straight from the cache
+	misses    atomic.Int64 // required a computation
+	coalesced atomic.Int64 // attached to an identical in-flight job
+
+	executed  atomic.Int64 // pipeline executions started
+	completed atomic.Int64 // executions that returned a clean Summary
+
+	failedBudget     atomic.Int64
+	failedInfeasible atomic.Int64
+	failedCancelled  atomic.Int64
+	failedOther      atomic.Int64
+
+	// Cumulative per-stage wall time of executed jobs, from
+	// Result.Provenance (nanoseconds).
+	clusteringNS atomic.Int64
+	clustermapNS atomic.Int64
+	lowerNS      atomic.Int64
+}
+
+func (st *stats) recordStages(sum core.Summary) {
+	for _, rec := range sum.Stages {
+		switch rec.Stage {
+		case "clustering":
+			st.clusteringNS.Add(int64(rec.Wall))
+		case "clustermap":
+			st.clustermapNS.Add(int64(rec.Wall))
+		case "lower":
+			st.lowerNS.Add(int64(rec.Wall))
+		}
+	}
+}
+
+func (st *stats) recordFailure(err error) {
+	switch {
+	case failure.IsBudget(err):
+		st.failedBudget.Add(1)
+	case failure.IsCancelled(err):
+		st.failedCancelled.Add(1)
+	case failure.IsInfeasible(err):
+		st.failedInfeasible.Add(1)
+	default:
+		st.failedOther.Add(1)
+	}
+}
+
+// Stats is the /statsz wire format: a consistent-enough snapshot of
+// the counters plus instantaneous queue and cache gauges.
+type Stats struct {
+	Submitted int64 `json:"submitted"`
+	Rejected  int64 `json:"rejected"`
+
+	CacheHits      int64   `json:"cacheHits"`
+	CacheMisses    int64   `json:"cacheMisses"`
+	Coalesced      int64   `json:"coalesced"`
+	CacheHitRate   float64 `json:"cacheHitRate"` // hits / (hits+misses)
+	CacheEntries   int     `json:"cacheEntries"`
+	QueueDepth     int     `json:"queueDepth"`
+	RunningJobs    int     `json:"runningJobs"`
+	Executed       int64   `json:"executed"`
+	Completed      int64   `json:"completed"`
+	FailedBudget   int64   `json:"failedBudget"`
+	FailedInfeasib int64   `json:"failedInfeasible"`
+	FailedCancel   int64   `json:"failedCancelled"`
+	FailedOther    int64   `json:"failedOther"`
+
+	ClusteringMS float64 `json:"stageClusteringMS"`
+	ClusterMapMS float64 `json:"stageClusterMapMS"`
+	LowerMS      float64 `json:"stageLowerMS"`
+
+	Draining bool `json:"draining"`
+}
+
+// Stats snapshots the server's counters and gauges.
+func (s *Server) Stats() Stats {
+	st := &s.stats
+	out := Stats{
+		Submitted:      st.submitted.Load(),
+		Rejected:       st.rejected.Load(),
+		CacheHits:      st.hits.Load(),
+		CacheMisses:    st.misses.Load(),
+		Coalesced:      st.coalesced.Load(),
+		CacheEntries:   s.cache.Len(),
+		QueueDepth:     len(s.queue),
+		RunningJobs:    int(s.running.Load()),
+		Executed:       st.executed.Load(),
+		Completed:      st.completed.Load(),
+		FailedBudget:   st.failedBudget.Load(),
+		FailedInfeasib: st.failedInfeasible.Load(),
+		FailedCancel:   st.failedCancelled.Load(),
+		FailedOther:    st.failedOther.Load(),
+		ClusteringMS:   float64(st.clusteringNS.Load()) / float64(time.Millisecond),
+		ClusterMapMS:   float64(st.clustermapNS.Load()) / float64(time.Millisecond),
+		LowerMS:        float64(st.lowerNS.Load()) / float64(time.Millisecond),
+	}
+	if n := out.CacheHits + out.CacheMisses; n > 0 {
+		out.CacheHitRate = float64(out.CacheHits) / float64(n)
+	}
+	s.mu.Lock()
+	out.Draining = s.draining
+	s.mu.Unlock()
+	return out
+}
