@@ -1,12 +1,35 @@
 GO ?= go
 
-.PHONY: check build test vet race bench check-fault check-service
+# Per-target budget for `make fuzz`. PRs run a short smoke; the
+# nightly CI job raises it (see .github/workflows/ci.yml).
+FUZZTIME ?= 10s
+
+.PHONY: check build test vet race bench check-fault check-service check-diff fuzz
 
 # The repository's verification gate: vet, build everything, then the
 # full test suite with the race detector (the parallel pipeline and
 # harness paths all run under it), plus the fault-injection matrix and
 # the service-layer contract tests.
 check: vet build race check-fault check-service
+
+# The property-based differential harness: both lower-level mappers and
+# the full pipeline over the seeded random-DFG corpus, every successful
+# mapping re-checked by the legality oracle (and, for routed mappings,
+# the cycle-accurate simulator), plus the metamorphic invariants —
+# under the race detector. Already part of `race`; this target runs it
+# alone.
+check-diff:
+	$(GO) test -race ./internal/difftest/ ./internal/verify/ ./internal/dfgen/
+
+# Native fuzzing, one budgeted run per target. The committed corpora
+# under */testdata/fuzz seed exploration and replay as regression tests
+# in every ordinary `go test` run; regenerate them with
+# `go run ./cmd/gencorpus`.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzMapSPR -fuzztime $(FUZZTIME) ./internal/spr/
+	$(GO) test -run '^$$' -fuzz FuzzMapUltraFast -fuzztime $(FUZZTIME) ./internal/ultrafast/
+	$(GO) test -run '^$$' -fuzz FuzzFingerprint -fuzztime $(FUZZTIME) ./internal/dfg/
+	$(GO) test -run '^$$' -fuzz FuzzServiceRequest -fuzztime $(FUZZTIME) ./internal/service/
 
 # The fault matrix: every failure site (eigensolve, k-means, ILP,
 # greedy, lower mapper) is armed in turn and the pipeline must degrade

@@ -1,0 +1,88 @@
+// Command gencorpus regenerates the committed seed corpora for the
+// native fuzz targets (FuzzMapSPR, FuzzMapUltraFast, FuzzFingerprint,
+// FuzzServiceRequest). Each entry is written in the `go test fuzz v1`
+// file format under the owning package's testdata/fuzz directory, so
+// `go test` replays them as regression tests on every run and `go test
+// -fuzz` seeds exploration from them.
+//
+// Run from the repository root:
+//
+//	go run ./cmd/gencorpus
+//
+// Generation is deterministic; re-running overwrites the gen-* entries
+// in place and leaves shrunken regression entries (any other file
+// name) alone.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"panorama/internal/dfgen"
+)
+
+// graphParams spans the shapes the differential corpus cares about:
+// chains, fan-out, recurrences, and memory pressure, small enough to
+// map in milliseconds.
+var graphParams = []struct {
+	seed int64
+	p    dfgen.Params
+}{
+	{1, dfgen.Params{Nodes: 4}},
+	{2, dfgen.Params{Nodes: 8, ExtraEdges: 3}},
+	{3, dfgen.Params{Nodes: 10, RecDensity: 0.4}},
+	{4, dfgen.Params{Nodes: 12, MemRatio: 0.3}},
+	{5, dfgen.Params{Nodes: 16, RecDensity: 0.25, MemRatio: 0.25, MaxFanout: 3}},
+	{6, dfgen.Params{Nodes: 20, ExtraEdges: 8, RecDensity: 0.15}},
+}
+
+var requests = []string{
+	`{"kernel":"fir","arch":"4x4","mapper":"spr","seed":1}`,
+	`{"kernel":"conv2d","mapper":"pan-ultrafast","seed":42,"timeoutMS":5000}`,
+	`{"kernel":"mmul","arch":"16x16","mapper":"pan-spr","wait":true}`,
+	`{"dfg":{"name":"inline","nodes":[{"id":0,"op":1},{"id":1,"op":2}],"edges":[{"from":0,"to":1}]},"arch":"8x8","mapper":"ultrafast"}`,
+	`{"kernel":"edn","scale":0.5,"arch":"9x9"}`,
+	`{"kernel":"nope"}`,
+	`{"mapper":"spr"}`,
+}
+
+func main() {
+	graphEntries := make([][]byte, len(graphParams))
+	for i, gp := range graphParams {
+		g := dfgen.Generate(gp.seed, gp.p)
+		enc, err := dfgen.ToBytes(g)
+		if err != nil {
+			log.Fatalf("encoding corpus graph %d: %v", i, err)
+		}
+		graphEntries[i] = enc
+	}
+	for _, dir := range []string{
+		"internal/spr/testdata/fuzz/FuzzMapSPR",
+		"internal/ultrafast/testdata/fuzz/FuzzMapUltraFast",
+		"internal/dfg/testdata/fuzz/FuzzFingerprint",
+	} {
+		writeCorpus(dir, graphEntries)
+	}
+	reqEntries := make([][]byte, len(requests))
+	for i, r := range requests {
+		reqEntries[i] = []byte(r)
+	}
+	writeCorpus("internal/service/testdata/fuzz/FuzzServiceRequest", reqEntries)
+}
+
+func writeCorpus(dir string, entries [][]byte) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for i, data := range entries {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		path := filepath.Join(dir, fmt.Sprintf("gen-%02d", i))
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("wrote %d entries to %s\n", len(entries), dir)
+}

@@ -23,6 +23,7 @@ import (
 	"panorama/internal/spectral"
 	"panorama/internal/spr"
 	"panorama/internal/ultrafast"
+	"panorama/internal/verify"
 )
 
 // Lower abstracts a lower-level CGRA mapper so Panorama's guidance can
@@ -43,6 +44,11 @@ type LowerResult struct {
 	MII     int
 	II      int
 	QoM     float64
+	// Mapping is the concrete mapping in the legality oracle's
+	// mapper-independent form (nil when the mapper failed), so callers
+	// and the differential harness can verify.Check what the pipeline
+	// actually produced. It is not part of the Summary wire form.
+	Mapping *verify.Mapping
 }
 
 // SPRLower adapts internal/spr to the Lower interface.
@@ -61,7 +67,8 @@ func (s SPRLower) Map(ctx context.Context, d *dfg.Graph, a *arch.CGRA, allowed [
 	if err != nil {
 		return LowerResult{}, err
 	}
-	return LowerResult{Success: res.Success, MII: res.MII, II: res.II, QoM: res.QoM()}, nil
+	return LowerResult{Success: res.Success, MII: res.MII, II: res.II, QoM: res.QoM(),
+		Mapping: res.Mapping.Verifiable()}, nil
 }
 
 // UltraFastLower adapts internal/ultrafast to the Lower interface.
@@ -80,7 +87,8 @@ func (u UltraFastLower) Map(ctx context.Context, d *dfg.Graph, a *arch.CGRA, all
 	if err != nil {
 		return LowerResult{}, err
 	}
-	return LowerResult{Success: res.Success, MII: res.MII, II: res.II, QoM: res.QoM()}, nil
+	return LowerResult{Success: res.Success, MII: res.MII, II: res.II, QoM: res.QoM(),
+		Mapping: res.Mapping.Verifiable(u.Options.CrossbarCap)}, nil
 }
 
 // Budgets caps the wall-clock of the pipeline stages. Zero means

@@ -1,0 +1,88 @@
+package dfg_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"panorama/internal/dfg"
+	"panorama/internal/dfgen"
+)
+
+// FuzzFingerprint checks the graph-identity contract the service cache
+// keys on, over fuzzer-chosen graphs: the fingerprint must be
+// invariant under node renaming and edge insertion order, survive the
+// dfgen byte codec round trip, and change under any structural
+// mutation. Corpus under testdata/fuzz/FuzzFingerprint; regenerate
+// with `go run ./cmd/gencorpus`.
+func FuzzFingerprint(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 4, 7, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, ok := dfgen.FromBytes(data)
+		if !ok {
+			return
+		}
+		fp := g.Fingerprint()
+
+		// Renaming every node and shuffling edge insertion order must
+		// not move the fingerprint (the shuffle is derived from the
+		// input so the test stays deterministic per corpus entry).
+		rng := rand.New(rand.NewSource(int64(len(data)) + int64(data[0])))
+		re := dfg.New("other-" + g.Name)
+		for _, nd := range g.Nodes {
+			re.AddNode(nd.Op, "renamed")
+		}
+		for _, ei := range rng.Perm(g.NumEdges()) {
+			e := g.Edges[ei]
+			re.AddEdgeDist(e.From, e.To, e.Dist)
+		}
+		re.MustFreeze()
+		if re.Fingerprint() != fp {
+			t.Fatal("fingerprint depends on names or edge insertion order")
+		}
+
+		// The byte codec must reproduce the graph exactly.
+		enc, err := dfgen.ToBytes(g)
+		if err != nil {
+			t.Fatalf("a decoded graph must re-encode: %v", err)
+		}
+		back, ok := dfgen.FromBytes(enc)
+		if !ok || back.Fingerprint() != fp {
+			t.Fatal("byte codec round trip changed the graph")
+		}
+
+		// Structural mutations must move the fingerprint.
+		if g.NumEdges() > 0 {
+			drop := dfg.New(g.Name)
+			for _, nd := range g.Nodes {
+				drop.AddNode(nd.Op, nd.Name)
+			}
+			for _, e := range g.Edges[:g.NumEdges()-1] {
+				drop.AddEdgeDist(e.From, e.To, e.Dist)
+			}
+			drop.MustFreeze()
+			if drop.Fingerprint() == fp {
+				t.Fatal("dropping an edge did not change the fingerprint")
+			}
+		}
+		mut := dfg.New(g.Name)
+		for v, nd := range g.Nodes {
+			op := nd.Op
+			if v == 0 {
+				if op == dfg.OpAdd {
+					op = dfg.OpSub
+				} else {
+					op = dfg.OpAdd
+				}
+			}
+			mut.AddNode(op, nd.Name)
+		}
+		for _, e := range g.Edges {
+			mut.AddEdgeDist(e.From, e.To, e.Dist)
+		}
+		mut.MustFreeze()
+		if mut.Fingerprint() == fp {
+			t.Fatal("changing an opcode did not change the fingerprint")
+		}
+	})
+}

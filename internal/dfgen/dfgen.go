@@ -1,0 +1,299 @@
+// Package dfgen generates random loop-body DFGs for property-based
+// testing: seeded, parameterized graphs that are valid by construction
+// (connected, acyclic modulo recurrence edges), a total byte-string
+// codec so native Go fuzzing can explore graph space directly, and a
+// greedy shrinker that reduces a failing graph to a locally minimal
+// one for committing as a regression corpus entry.
+package dfgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"panorama/internal/dfg"
+)
+
+// Params controls random graph generation. The zero value asks for the
+// defaults documented on each field.
+type Params struct {
+	// Nodes is the operation count (default 12, minimum 2).
+	Nodes int
+	// ExtraEdges is how many forward edges are added beyond the
+	// connecting spanning structure (default Nodes/2).
+	ExtraEdges int
+	// MaxFanout caps a node's out-degree when extra forward edges are
+	// drawn (default 4). The spanning structure may still exceed it.
+	MaxFanout int
+	// RecDensity is the per-node probability of drawing one recurrence
+	// (inter-iteration) edge out of it (default 0).
+	RecDensity float64
+	// MemRatio is the fraction of nodes turned into loads/stores
+	// (default 0).
+	MemRatio float64
+	// MaxDist is the largest recurrence distance drawn (default 3).
+	MaxDist int
+}
+
+func (p *Params) defaults() {
+	if p.Nodes < 2 {
+		if p.Nodes == 0 {
+			p.Nodes = 12
+		} else {
+			p.Nodes = 2
+		}
+	}
+	if p.ExtraEdges == 0 {
+		p.ExtraEdges = p.Nodes / 2
+	}
+	if p.MaxFanout <= 0 {
+		p.MaxFanout = 4
+	}
+	if p.MaxDist <= 0 {
+		p.MaxDist = 3
+	}
+}
+
+// aluOps are the operation kinds drawn for non-memory interior nodes.
+// All of them consume their operands, so every spanning edge carries
+// live data through the reference interpretation.
+var aluOps = []dfg.Op{
+	dfg.OpAdd, dfg.OpSub, dfg.OpMul, dfg.OpShl, dfg.OpShr,
+	dfg.OpAnd, dfg.OpOr, dfg.OpXor, dfg.OpCmp, dfg.OpSelect, dfg.OpPhi,
+}
+
+// Generate builds a random DFG. The same (seed, params) pair always
+// yields the same graph. The result is valid by construction — dense
+// ids, connected, the Dist==0 subgraph acyclic — and returned frozen.
+func Generate(seed int64, p Params) *dfg.Graph {
+	p.defaults()
+	rng := rand.New(rand.NewSource(seed))
+	n := p.Nodes
+	g := dfg.New(fmt.Sprintf("rand-%d", seed))
+
+	// Operation kinds: a root source, random ALU interior, and a
+	// MemRatio share of loads/stores.
+	ops := make([]dfg.Op, n)
+	for i := range ops {
+		ops[i] = aluOps[rng.Intn(len(aluOps))]
+	}
+	ops[0] = dfg.OpConst
+	memCount := int(p.MemRatio*float64(n) + 0.5)
+	for k, perm := 0, rng.Perm(n); k < memCount && k < n; k++ {
+		v := perm[k]
+		if v == 0 {
+			ops[v] = dfg.OpLoad // the root stays input-free
+		} else if k%2 == 0 {
+			ops[v] = dfg.OpLoad
+		} else {
+			ops[v] = dfg.OpStore
+		}
+	}
+	for i := 0; i < n; i++ {
+		g.AddNode(ops[i], "")
+	}
+
+	type ekey [3]int
+	seen := make(map[ekey]bool)
+	outDeg := make([]int, n)
+	add := func(from, to, dist int) bool {
+		k := ekey{from, to, dist}
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		outDeg[from]++
+		g.AddEdgeDist(from, to, dist)
+		return true
+	}
+
+	// Spanning structure: every node i > 0 consumes an earlier node, so
+	// the graph is connected and the forward subgraph acyclic.
+	for i := 1; i < n; i++ {
+		add(rng.Intn(i), i, 0)
+	}
+	// Extra forward edges under the fan-out cap.
+	for tries, added := 0, 0; added < p.ExtraEdges && tries < 8*p.ExtraEdges; tries++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		if i > j {
+			i, j = j, i
+		}
+		if outDeg[i] >= p.MaxFanout {
+			continue
+		}
+		if add(i, j, 0) {
+			added++
+		}
+	}
+	// Recurrence edges: later-to-earlier (or self) with distance >= 1.
+	for i := 0; i < n; i++ {
+		if rng.Float64() >= p.RecDensity {
+			continue
+		}
+		add(i, rng.Intn(i+1), 1+rng.Intn(p.MaxDist))
+	}
+
+	g.MustFreeze()
+	return g
+}
+
+// MaxFuzzNodes bounds the node count FromBytes decodes, keeping fuzzed
+// mapping attempts fast.
+const MaxFuzzNodes = 24
+
+// FromBytes deterministically decodes an arbitrary byte string into a
+// valid DFG — a total decoder, so every fuzzer input exercises a
+// mapper instead of bouncing off input validation. ok is false only
+// when data is too short to name a node count and its opcodes.
+//
+// Encoding: byte 0 is the node count minus one (mod MaxFuzzNodes);
+// the next n bytes are opcodes (mod the opcode count); every following
+// 3-byte group is an edge (from mod n, to mod n, dist mod 4). Repairs
+// keep the result valid: duplicate edges are dropped, a distance-0
+// self loop or forward cycle gets distance 1.
+func FromBytes(data []byte) (*dfg.Graph, bool) {
+	if len(data) < 2 {
+		return nil, false
+	}
+	n := 1 + int(data[0])%MaxFuzzNodes
+	if len(data) < 1+n {
+		return nil, false
+	}
+	g := dfg.New("fuzz")
+	const numOps = int(dfg.OpPhi) + 1
+	for i := 0; i < n; i++ {
+		g.AddNode(dfg.Op(int(data[1+i])%numOps), "")
+	}
+
+	fwd := make([][]int, n) // dist-0 adjacency, for cycle repair
+	var reaches func(from, to int, mark []bool) bool
+	reaches = func(from, to int, mark []bool) bool {
+		if from == to {
+			return true
+		}
+		mark[from] = true
+		for _, w := range fwd[from] {
+			if !mark[w] && reaches(w, to, mark) {
+				return true
+			}
+		}
+		return false
+	}
+
+	type ekey [3]int
+	seen := make(map[ekey]bool)
+	for rest := data[1+n:]; len(rest) >= 3; rest = rest[3:] {
+		from, to := int(rest[0])%n, int(rest[1])%n
+		dist := int(rest[2]) % 4
+		if dist == 0 && (from == to || reaches(to, from, make([]bool, n))) {
+			dist = 1 // would close a same-iteration cycle; make it a recurrence
+		}
+		k := ekey{from, to, dist}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if dist == 0 {
+			fwd[from] = append(fwd[from], to)
+		}
+		g.AddEdgeDist(from, to, dist)
+	}
+	g.MustFreeze()
+	return g, true
+}
+
+// ToBytes encodes a graph into the FromBytes format, for committing
+// generated or shrunken graphs as fuzz corpus entries. It errors when
+// the graph does not fit the encoding (too many nodes, distance > 3);
+// for encodable graphs FromBytes(ToBytes(g)) reproduces g exactly.
+func ToBytes(g *dfg.Graph) ([]byte, error) {
+	n := g.NumNodes()
+	if n < 1 || n > MaxFuzzNodes {
+		return nil, fmt.Errorf("dfgen: %d nodes outside the encodable range 1..%d", n, MaxFuzzNodes)
+	}
+	out := make([]byte, 0, 1+n+3*g.NumEdges())
+	out = append(out, byte(n-1))
+	for _, nd := range g.Nodes {
+		if nd.Op < 0 || nd.Op > dfg.OpPhi {
+			return nil, fmt.Errorf("dfgen: node %d op %d not encodable", nd.ID, int(nd.Op))
+		}
+		out = append(out, byte(nd.Op))
+	}
+	for _, e := range g.Edges {
+		if e.Dist > 3 {
+			return nil, fmt.Errorf("dfgen: edge %d->%d distance %d exceeds encodable 3", e.From, e.To, e.Dist)
+		}
+		out = append(out, byte(e.From), byte(e.To), byte(e.Dist))
+	}
+	return out, nil
+}
+
+// Shrink greedily reduces g to a locally minimal graph for which fails
+// still returns true: it repeatedly tries deleting a node (with its
+// incident edges), deleting a single edge, and lowering a recurrence
+// distance, restarting after every reduction that keeps the failure
+// alive, until no single reduction does. fails must be deterministic;
+// it only ever sees structurally valid graphs.
+func Shrink(g *dfg.Graph, fails func(*dfg.Graph) bool) *dfg.Graph {
+	cur := clone(g, -1, -1)
+	for {
+		reduced := false
+		for v := cur.NumNodes() - 1; v >= 0 && cur.NumNodes() > 1; v-- {
+			if cand := clone(cur, v, -1); cand.Validate() == nil && fails(cand) {
+				cur, reduced = cand, true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+		for ei := cur.NumEdges() - 1; ei >= 0; ei-- {
+			if cand := clone(cur, -1, ei); cand.Validate() == nil && fails(cand) {
+				cur, reduced = cand, true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+		for ei := 0; ei < cur.NumEdges(); ei++ {
+			if d := cur.Edges[ei].Dist; d > 1 {
+				cand := clone(cur, -1, -1)
+				cand.Edges[ei].Dist = d - 1
+				if cand.Validate() == nil && fails(cand) {
+					cur, reduced = cand, true
+					break
+				}
+			}
+		}
+		if !reduced {
+			cur.MustFreeze()
+			return cur
+		}
+	}
+}
+
+// clone copies g, optionally dropping node dropV (re-indexing the
+// survivors and removing incident edges) or edge dropE; pass -1 to
+// keep everything. The copy is unfrozen so callers can keep mutating
+// it.
+func clone(g *dfg.Graph, dropV, dropE int) *dfg.Graph {
+	out := dfg.New(g.Name)
+	remap := make([]int, g.NumNodes())
+	for i, nd := range g.Nodes {
+		if i == dropV {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = out.AddNode(nd.Op, nd.Name)
+	}
+	for ei, e := range g.Edges {
+		if ei == dropE || remap[e.From] < 0 || remap[e.To] < 0 {
+			continue
+		}
+		out.AddEdgeDist(remap[e.From], remap[e.To], e.Dist)
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package dfgen_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"panorama/internal/dfg"
+	"panorama/internal/dfgen"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := dfgen.Params{Nodes: 16, RecDensity: 0.3, MemRatio: 0.25}
+	a, b := dfgen.Generate(42, p), dfgen.Generate(42, p)
+	fa, fb := a.Fingerprint(), b.Fingerprint()
+	if fa != fb {
+		t.Fatalf("same seed and params produced different graphs: %s vs %s", fa, fb)
+	}
+	if dfgen.Generate(43, p).Fingerprint() == fa {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestGenerateValidAndConnected(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		p := dfgen.Params{
+			Nodes:      2 + int(seed%21),
+			RecDensity: float64(seed%4) * 0.2,
+			MemRatio:   float64(seed%3) * 0.2,
+		}
+		g := dfgen.Generate(seed, p)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid graph: %v", seed, err)
+		}
+		if g.NumNodes() != p.Nodes {
+			t.Fatalf("seed %d: %d nodes, want %d", seed, g.NumNodes(), p.Nodes)
+		}
+		// Connectivity: every node > 0 is reachable from some earlier node
+		// via the spanning structure, so each has at least one in-edge.
+		hasIn := make([]bool, g.NumNodes())
+		for _, e := range g.Edges {
+			hasIn[e.To] = true
+		}
+		for v := 1; v < g.NumNodes(); v++ {
+			if !hasIn[v] {
+				t.Fatalf("seed %d: node %d has no producer", seed, v)
+			}
+		}
+	}
+}
+
+func TestGenerateMemRatio(t *testing.T) {
+	g := dfgen.Generate(7, dfgen.Params{Nodes: 20, MemRatio: 0.5})
+	mem := 0
+	for _, nd := range g.Nodes {
+		if nd.Op.IsMem() {
+			mem++
+		}
+	}
+	if mem != 10 {
+		t.Fatalf("MemRatio 0.5 over 20 nodes produced %d memory ops, want 10", mem)
+	}
+}
+
+func TestFromBytesTotal(t *testing.T) {
+	if _, ok := dfgen.FromBytes(nil); ok {
+		t.Fatal("empty input must not decode")
+	}
+	if _, ok := dfgen.FromBytes([]byte{200}); ok {
+		t.Fatal("input too short for its opcodes must not decode")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		data := make([]byte, rng.Intn(64))
+		rng.Read(data)
+		g, ok := dfgen.FromBytes(data)
+		if !ok {
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("FromBytes(%x) produced an invalid graph: %v", data, err)
+		}
+		if g.NumNodes() > dfgen.MaxFuzzNodes {
+			t.Fatalf("FromBytes produced %d nodes, cap %d", g.NumNodes(), dfgen.MaxFuzzNodes)
+		}
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g := dfgen.Generate(seed, dfgen.Params{
+			Nodes: 2 + int(seed), RecDensity: 0.3, MemRatio: 0.2})
+		enc, err := dfgen.ToBytes(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		back, ok := dfgen.FromBytes(enc)
+		if !ok {
+			t.Fatalf("seed %d: encoding did not decode", seed)
+		}
+		if g.Fingerprint() != back.Fingerprint() {
+			t.Fatalf("seed %d: round trip changed the graph", seed)
+		}
+		enc2, err := dfgen.ToBytes(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("seed %d: re-encoding differs", seed)
+		}
+	}
+}
+
+func TestToBytesRejectsUnencodable(t *testing.T) {
+	big := dfgen.Generate(1, dfgen.Params{Nodes: dfgen.MaxFuzzNodes + 1})
+	if _, err := dfgen.ToBytes(big); err == nil {
+		t.Fatal("graph over the node cap must not encode")
+	}
+	g := dfg.New("far")
+	g.AddNode(dfg.OpConst, "")
+	g.AddNode(dfg.OpAdd, "")
+	g.AddEdgeDist(0, 1, 0)
+	g.AddEdgeDist(1, 0, 9)
+	g.MustFreeze()
+	if _, err := dfgen.ToBytes(g); err == nil {
+		t.Fatal("distance past the encodable range must not encode")
+	}
+}
+
+func TestShrinkToMinimal(t *testing.T) {
+	// Failure predicate: the graph contains a store. The minimal failing
+	// graph is a single store node with no edges.
+	g := dfgen.Generate(5, dfgen.Params{Nodes: 18, RecDensity: 0.4, MemRatio: 0.4})
+	hasStore := func(x *dfg.Graph) bool {
+		for _, nd := range x.Nodes {
+			if nd.Op == dfg.OpStore {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasStore(g) {
+		t.Fatal("fixture must contain a store")
+	}
+	min := dfgen.Shrink(g, hasStore)
+	if err := min.Validate(); err != nil {
+		t.Fatalf("shrunken graph invalid: %v", err)
+	}
+	if !hasStore(min) {
+		t.Fatal("shrinking lost the failure")
+	}
+	if min.NumNodes() != 1 || min.NumEdges() != 0 {
+		t.Fatalf("shrunken to %d nodes / %d edges, want the single failing node",
+			min.NumNodes(), min.NumEdges())
+	}
+}
+
+func TestShrinkLowersDistances(t *testing.T) {
+	g := dfg.New("dist")
+	g.AddNode(dfg.OpConst, "")
+	g.AddNode(dfg.OpAdd, "")
+	g.AddEdgeDist(0, 1, 0)
+	g.AddEdgeDist(1, 1, 3)
+	g.MustFreeze()
+	hasRec := func(x *dfg.Graph) bool {
+		for _, e := range x.Edges {
+			if e.Dist > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	min := dfgen.Shrink(g, hasRec)
+	for _, e := range min.Edges {
+		if e.Dist > 1 {
+			t.Fatalf("shrink left distance %d on %d->%d, want 1", e.Dist, e.From, e.To)
+		}
+	}
+	if !hasRec(min) {
+		t.Fatal("shrinking lost the failure")
+	}
+}

@@ -1,0 +1,81 @@
+// Package difftest is the property-based differential harness: it runs
+// the repository's mappers over seeded random DFGs (internal/dfgen)
+// and checks every successful mapping twice, against the
+// mapper-independent legality oracle (internal/verify) and — for
+// routed mappings — against the cycle-accurate simulator's
+// reference-vs-execute comparison (internal/sim). The mappers validate
+// their own output through the same oracle, so a disagreement here
+// means a conversion or harness bug, and an illegal mapping slipping
+// through means a mapper bug and an oracle bug coincided.
+//
+// The exported helpers are shared with the native fuzz targets in the
+// mapper packages, so a fuzzer-found input exercises exactly the same
+// checks as the committed differential corpus.
+package difftest
+
+import (
+	"fmt"
+
+	"panorama/internal/arch"
+	"panorama/internal/dfg"
+	"panorama/internal/dfgen"
+	"panorama/internal/sim"
+	"panorama/internal/spr"
+	"panorama/internal/ultrafast"
+	"panorama/internal/verify"
+)
+
+// SimIters is how many loop iterations the simulator replays when
+// cross-checking a mapping; enough to cover every recurrence distance
+// the generator draws plus one wrap.
+const SimIters = 5
+
+// VerifyRouted checks a successful SPR* mapping with the legality
+// oracle and then replays it cycle-accurately against the reference
+// interpretation of the DFG.
+func VerifyRouted(d *dfg.Graph, a *arch.CGRA, m *spr.Mapping, allowed [][]int) error {
+	if err := verify.Check(d, a, m.Verifiable(), allowed); err != nil {
+		return fmt.Errorf("oracle: %w", err)
+	}
+	if err := sim.Verify(d, a, m, SimIters); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	return nil
+}
+
+// VerifyCrossbar checks a successful UltraFast* mapping with the
+// legality oracle. The crossbar model has no explicit routes, so there
+// is no cycle-accurate replay; the oracle's bandwidth re-derivation is
+// the independent check.
+func VerifyCrossbar(d *dfg.Graph, a *arch.CGRA, m *ultrafast.Mapping, allowed [][]int, crossbarCap int) error {
+	if err := verify.Check(d, a, m.Verifiable(crossbarCap), allowed); err != nil {
+		return fmt.Errorf("oracle: %w", err)
+	}
+	return nil
+}
+
+// RoutedFromOracle converts a ModelRouted oracle mapping back into the
+// SPR* form so pipeline results (core.LowerResult.Mapping) can be
+// replayed through the simulator. Returns nil for nil or non-routed
+// mappings.
+func RoutedFromOracle(m *verify.Mapping) *spr.Mapping {
+	if m == nil || m.Model != verify.ModelRouted {
+		return nil
+	}
+	return &spr.Mapping{II: m.II, PlacePE: m.PlacePE, PlaceT: m.PlaceT, Routes: m.Routes}
+}
+
+// CorpusParams derives the generation parameters for differential
+// corpus entry i: node counts from 4 to 18 with rotating recurrence
+// density, memory pressure, and fan-out, so the corpus spans
+// compute-bound, memory-bound, and recurrence-bound shapes.
+func CorpusParams(i int) (seed int64, p dfgen.Params) {
+	p = dfgen.Params{
+		Nodes:      4 + i%15,
+		ExtraEdges: 1 + i%5,
+		MaxFanout:  2 + i%4,
+		RecDensity: float64(i%4) * 0.15,
+		MemRatio:   float64(i%3) * 0.15,
+	}
+	return int64(1000 + i), p
+}

@@ -1,0 +1,47 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzServiceRequest drives the POST /v1/map request decoder and
+// validator with arbitrary JSON. Admission is not exercised (no jobs
+// are enqueued); the properties are that resolve never panics, never
+// accepts a request without a graph, an architecture, and a known
+// mapper, and is deterministic — two resolutions of one request must
+// agree on the cache fingerprint, or the content-addressed cache would
+// return wrong results. Corpus under testdata/fuzz/FuzzServiceRequest;
+// regenerate with `go run ./cmd/gencorpus`.
+func FuzzServiceRequest(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"kernel":"fir","arch":"4x4","mapper":"ultrafast","seed":7}`))
+	f.Add([]byte(`{"dfg":{"name":"x","nodes":[{"id":0,"op":1}],"edges":[]}}`))
+	s, err := New(Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		if json.Unmarshal(data, &req) != nil {
+			return
+		}
+		r1, err := s.resolve(&req)
+		if err != nil {
+			return // a rejected request only needs to not panic
+		}
+		if r1.graph == nil || r1.arch == nil {
+			t.Fatal("resolve accepted a request without a graph or architecture")
+		}
+		if !validMapper(r1.mapper) {
+			t.Fatalf("resolve accepted unknown mapper %q", r1.mapper)
+		}
+		r2, err := s.resolve(&req)
+		if err != nil {
+			t.Fatalf("second resolution of an accepted request failed: %v", err)
+		}
+		if r1.fingerprint != r2.fingerprint {
+			t.Fatalf("resolve is not deterministic: %s vs %s", r1.fingerprint, r2.fingerprint)
+		}
+	})
+}

@@ -328,14 +328,14 @@ func TestBadRequests(t *testing.T) {
 	defer ts.Close()
 
 	for name, body := range map[string]string{
-		"no graph":        `{"arch":"8x8"}`,
-		"both sources":    `{"kernel":"fir","dfg":{"name":"g","nodes":[],"edges":[]},"arch":"8x8"}`,
-		"unknown kernel":  `{"kernel":"nosuch"}`,
-		"unknown arch":    `{"kernel":"fir","arch":"3x3"}`,
-		"unknown mapper":  `{"kernel":"fir","mapper":"magic"}`,
-		"invalid dfg":     `{"dfg":{"name":"g","nodes":[{"id":0,"op":1}],"edges":[{"from":0,"to":5}]}}`,
-		"unknown field":   `{"kernel":"fir","bogus":1}`,
-		"malformed json":  `{`,
+		"no graph":       `{"arch":"8x8"}`,
+		"both sources":   `{"kernel":"fir","dfg":{"name":"g","nodes":[],"edges":[]},"arch":"8x8"}`,
+		"unknown kernel": `{"kernel":"nosuch"}`,
+		"unknown arch":   `{"kernel":"fir","arch":"3x3"}`,
+		"unknown mapper": `{"kernel":"fir","mapper":"magic"}`,
+		"invalid dfg":    `{"dfg":{"name":"g","nodes":[{"id":0,"op":1}],"edges":[{"from":0,"to":5}]}}`,
+		"unknown field":  `{"kernel":"fir","bogus":1}`,
+		"malformed json": `{`,
 	} {
 		code, _ := postMap(t, ts.URL, body)
 		if code != http.StatusBadRequest {

@@ -17,7 +17,7 @@ import (
 
 	"panorama/internal/arch"
 	"panorama/internal/dfg"
-	"panorama/internal/mrrg"
+	"panorama/internal/verify"
 )
 
 // Options tunes the mapper.
@@ -303,133 +303,28 @@ func clusterMII(d *dfg.Graph, a *arch.CGRA, allowed [][]int) int {
 // Validate checks that a mapping is structurally and temporally valid:
 // one op per FU slot, memory ops on memory PEs, cluster restrictions
 // respected, every route a real MRRG path with the exact elapsed time
-// the schedule demands, and no resource used beyond its capacity
-// (counting each value once per resource).
+// the schedule demands, and no resource used beyond its capacity.
+//
+// It is a thin wrapper over the mapper-independent legality oracle
+// (internal/verify), so the specification of what "valid" means lives
+// in one place shared with UltraFast* and the differential harness.
 func Validate(d *dfg.Graph, a *arch.CGRA, m *Mapping, allowedClusters [][]int) error {
-	if m == nil {
-		return fmt.Errorf("nil mapping")
-	}
-	g, err := mrrg.New(a, m.II)
-	if err != nil {
-		return err
-	}
-	n := d.NumNodes()
-	if len(m.PlacePE) != n || len(m.PlaceT) != n {
-		return fmt.Errorf("placement arrays have wrong length")
-	}
-	// One-to-one FU usage; op legality.
-	fuSeen := make(map[int]int)
-	for v := 0; v < n; v++ {
-		pe, t := m.PlacePE[v], m.PlaceT[v]
-		if pe < 0 || pe >= a.NumPEs() {
-			return fmt.Errorf("node %d on invalid PE %d", v, pe)
-		}
-		if t < 0 {
-			return fmt.Errorf("node %d scheduled at negative time %d", v, t)
-		}
-		if d.Nodes[v].Op.IsMem() && !a.PEs[pe].MemCapable {
-			return fmt.Errorf("memory op %d placed on non-memory PE %d", v, pe)
-		}
-		if allowedClusters != nil && allowedClusters[v] != nil {
-			ok := false
-			for _, c := range allowedClusters[v] {
-				if a.ClusterOf(pe) == c {
-					ok = true
-					break
-				}
-			}
-			if !ok {
-				return fmt.Errorf("node %d on PE %d violates cluster restriction", v, pe)
-			}
-		}
-		fu := g.FUNode(pe, t)
-		if prev, dup := fuSeen[fu]; dup {
-			return fmt.Errorf("nodes %d and %d share FU slot %s", prev, v, g.Describe(fu))
-		}
-		fuSeen[fu] = v
-	}
+	return verify.Check(d, a, m.Verifiable(), allowedClusters)
+}
 
-	if len(m.Routes) != d.NumEdges() {
-		return fmt.Errorf("route count %d != edge count %d", len(m.Routes), d.NumEdges())
+// Verifiable converts the mapping into the oracle's mapper-independent
+// form (nil stays nil, which the oracle rejects).
+func (m *Mapping) Verifiable() *verify.Mapping {
+	if m == nil {
+		return nil
 	}
-	// usage[node] counts the distinct value streams occupying the node:
-	// one per (producing node, elapsed phase). Two routes of one value
-	// share a resource for free only at the same phase; at different
-	// phases the resource would carry two iterations' values at once.
-	usage := make(map[int]map[[2]int]bool) // mrrg node -> set of (source, elapsed)
-	claim := func(node, srcVal, elapsed int) {
-		set := usage[node]
-		if set == nil {
-			set = make(map[[2]int]bool)
-			usage[node] = set
-		}
-		set[[2]int{srcVal, elapsed}] = true
+	return &verify.Mapping{
+		Model:   verify.ModelRouted,
+		II:      m.II,
+		PlacePE: m.PlacePE,
+		PlaceT:  m.PlaceT,
+		Routes:  m.Routes,
 	}
-	for ei, e := range d.Edges {
-		route := m.Routes[ei]
-		if len(route) == 0 {
-			return fmt.Errorf("edge %d->%d has no route", e.From, e.To)
-		}
-		src, dst := e.From, e.To
-		lat := d.Nodes[src].Op.Latency()
-		ta := m.PlaceT[src] + lat
-		wantDelta := m.PlaceT[dst] + e.Dist*m.II - ta
-		if wantDelta < 0 {
-			return fmt.Errorf("edge %d->%d has negative slack %d", src, dst, wantDelta)
-		}
-		if int(route[0]) != g.ResNode(m.PlacePE[src], ta) {
-			return fmt.Errorf("edge %d->%d route starts at %s, want %s",
-				src, dst, g.Describe(int(route[0])), g.Describe(g.ResNode(m.PlacePE[src], ta)))
-		}
-		last := int(route[len(route)-1])
-		if last != g.FUNode(m.PlacePE[dst], m.PlaceT[dst]) {
-			return fmt.Errorf("edge %d->%d route ends at %s, want consumer FU", src, dst, g.Describe(last))
-		}
-		// No node may repeat: a repeat means the value holds a resource
-		// across a full II wrap and would collide with its own next
-		// iteration (verified dynamically by internal/sim).
-		dup := make(map[int32]bool, len(route))
-		for _, n := range route {
-			if dup[n] {
-				return fmt.Errorf("edge %d->%d route revisits %s (modulo wrap)", src, dst, g.Describe(int(n)))
-			}
-			dup[n] = true
-		}
-		elapsed := 0
-		claim(int(route[0]), src, 0)
-		for i := 0; i+1 < len(route); i++ {
-			from, to := int(route[i]), int(route[i+1])
-			var edge *mrrg.Edge
-			for j := range g.Succ[from] {
-				if int(g.Succ[from][j].To) == to {
-					edge = &g.Succ[from][j]
-					break
-				}
-			}
-			if edge == nil {
-				return fmt.Errorf("edge %d->%d route uses non-existent MRRG edge %s -> %s",
-					src, dst, g.Describe(from), g.Describe(to))
-			}
-			if edge.Adv {
-				elapsed++
-			}
-			if g.Kinds[to] != mrrg.KindFU { // consumer FU input is not a shared resource
-				claim(to, src, elapsed)
-			}
-		}
-		if elapsed != wantDelta {
-			return fmt.Errorf("edge %d->%d route takes %d cycles, schedule needs %d", src, dst, elapsed, wantDelta)
-		}
-	}
-	for node, vals := range usage {
-		if g.Kinds[node] == mrrg.KindFU {
-			continue
-		}
-		if len(vals) > int(g.Cap[node]) {
-			return fmt.Errorf("resource %s carries %d values, capacity %d", g.Describe(node), len(vals), g.Cap[node])
-		}
-	}
-	return nil
 }
 
 func maxInt(a, b int) int {

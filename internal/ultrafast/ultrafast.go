@@ -24,6 +24,7 @@ import (
 
 	"panorama/internal/arch"
 	"panorama/internal/dfg"
+	"panorama/internal/verify"
 )
 
 // Options tunes the mapper.
@@ -97,6 +98,11 @@ func MapCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, opts Options) (*Res
 			return nil, err
 		}
 		if m, ok := attempt(d, a, ii, &opts); ok {
+			// Self-check against the shared legality oracle, exactly as
+			// SPR* does: a mapper bug must surface here, not in a caller.
+			if err := ValidateCap(d, a, m, opts.AllowedClusters, opts.CrossbarCap); err != nil {
+				return nil, fmt.Errorf("ultrafast: internal error, invalid mapping at II=%d: %w", ii, err)
+			}
 			res.Success = true
 			res.II = ii
 			res.Mapping = m
@@ -314,47 +320,34 @@ func (st *ufState) claimPath(src, dst, slot int, claim func(pe, slot int) bool) 
 	return true
 }
 
-// Validate checks a mapping against the model's constraints.
+// Validate checks a mapping against the model's constraints —
+// placement legality, FU-slot exclusivity, dependence timing, and
+// per-cycle crossbar forwarding bandwidth — at the default crossbar
+// capacity. It is a thin wrapper over the mapper-independent legality
+// oracle (internal/verify), so the specification lives in one place
+// shared with SPR* and the differential harness.
 func Validate(d *dfg.Graph, a *arch.CGRA, m *Mapping, allowedClusters [][]int) error {
+	return ValidateCap(d, a, m, allowedClusters, 0)
+}
+
+// ValidateCap is Validate with an explicit per-PE per-cycle crossbar
+// forwarding capacity (0 means verify.DefaultCrossbarCap).
+func ValidateCap(d *dfg.Graph, a *arch.CGRA, m *Mapping, allowedClusters [][]int, crossbarCap int) error {
+	return verify.Check(d, a, m.Verifiable(crossbarCap), allowedClusters)
+}
+
+// Verifiable converts the mapping into the oracle's mapper-independent
+// form (nil stays nil, which the oracle rejects). crossbarCap 0 means
+// the model default.
+func (m *Mapping) Verifiable(crossbarCap int) *verify.Mapping {
 	if m == nil {
-		return fmt.Errorf("nil mapping")
+		return nil
 	}
-	n := d.NumNodes()
-	if len(m.PlacePE) != n || len(m.PlaceT) != n {
-		return fmt.Errorf("placement arrays have wrong length")
+	return &verify.Mapping{
+		Model:       verify.ModelCrossbar,
+		II:          m.II,
+		PlacePE:     m.PlacePE,
+		PlaceT:      m.PlaceT,
+		CrossbarCap: crossbarCap,
 	}
-	busy := make(map[int]int)
-	for v := 0; v < n; v++ {
-		pe, t := m.PlacePE[v], m.PlaceT[v]
-		if pe < 0 || pe >= a.NumPEs() || t < 0 {
-			return fmt.Errorf("node %d has invalid placement (%d,%d)", v, pe, t)
-		}
-		if d.Nodes[v].Op.IsMem() && !a.PEs[pe].MemCapable {
-			return fmt.Errorf("memory op %d on non-memory PE %d", v, pe)
-		}
-		if allowedClusters != nil && allowedClusters[v] != nil {
-			ok := false
-			for _, c := range allowedClusters[v] {
-				if a.ClusterOf(pe) == c {
-					ok = true
-				}
-			}
-			if !ok {
-				return fmt.Errorf("node %d violates cluster restriction", v)
-			}
-		}
-		key := pe*m.II + t%m.II
-		if prev, dup := busy[key]; dup {
-			return fmt.Errorf("nodes %d and %d share FU slot", prev, v)
-		}
-		busy[key] = v
-	}
-	for _, e := range d.Edges {
-		avail := m.PlaceT[e.From] + d.Nodes[e.From].Op.Latency()
-		need := m.PlaceT[e.To] + e.Dist*m.II
-		if need < avail {
-			return fmt.Errorf("edge %d->%d consumed %d cycles before availability", e.From, e.To, avail-need)
-		}
-	}
-	return nil
 }

@@ -1,0 +1,324 @@
+package verify_test
+
+import (
+	"errors"
+	"testing"
+
+	"panorama/internal/arch"
+	"panorama/internal/dfg"
+	"panorama/internal/mrrg"
+	"panorama/internal/verify"
+)
+
+// constraintOf asserts err is a *verify.Error and returns its
+// constraint family.
+func constraintOf(t *testing.T, err error) string {
+	t.Helper()
+	if err == nil {
+		t.Fatal("expected a legality violation, got nil")
+	}
+	var ve *verify.Error
+	if !errors.As(err, &ve) {
+		t.Fatalf("expected *verify.Error, got %T: %v", err, err)
+	}
+	return ve.Constraint
+}
+
+func wantConstraint(t *testing.T, err error, constraint string) {
+	t.Helper()
+	if got := constraintOf(t, err); got != constraint {
+		t.Fatalf("constraint = %q, want %q (err: %v)", got, constraint, err)
+	}
+}
+
+func findLink(t *testing.T, g *mrrg.Graph, from, to int) int {
+	t.Helper()
+	for li := 0; li < g.NumLinks(); li++ {
+		if f, to2 := g.LinkEnds(li); f == from && to2 == to {
+			return li
+		}
+	}
+	t.Fatalf("no MRRG link %d -> %d", from, to)
+	return -1
+}
+
+func cloneMapping(m *verify.Mapping) *verify.Mapping {
+	c := *m
+	c.PlacePE = append([]int(nil), m.PlacePE...)
+	c.PlaceT = append([]int(nil), m.PlaceT...)
+	c.Routes = make([][]int32, len(m.Routes))
+	for i, r := range m.Routes {
+		c.Routes[i] = append([]int32(nil), r...)
+	}
+	return &c
+}
+
+func path(nodes ...int) []int32 {
+	out := make([]int32, len(nodes))
+	for i, n := range nodes {
+		out[i] = int32(n)
+	}
+	return out
+}
+
+// routedFixture is a hand-built, known-legal ModelRouted mapping on
+// Preset4x4 at II=2: two constants feeding two adds on distinct PEs,
+// each value parked one II in its producer's register file and then
+// shipped one hop. Every corruption test below mutates a copy of it.
+//
+//	A(const, pe0, t0) --e0--> C(add, pe1, t3)
+//	B(const, pe4, t0) --e1--> D(add, pe0, t3)
+func routedFixture(t *testing.T) (*dfg.Graph, *arch.CGRA, *verify.Mapping) {
+	t.Helper()
+	a := arch.Preset4x4()
+	d := dfg.New("fixture")
+	d.AddNode(dfg.OpConst, "A")
+	d.AddNode(dfg.OpConst, "B")
+	d.AddNode(dfg.OpAdd, "C")
+	d.AddNode(dfg.OpAdd, "D")
+	d.AddEdgeDist(0, 2, 0)
+	d.AddEdgeDist(1, 3, 0)
+	d.MustFreeze()
+
+	const ii = 2
+	g, err := mrrg.New(a, ii)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l01 := findLink(t, g, 0, 1)
+	l40 := findLink(t, g, 4, 0)
+	m := &verify.Mapping{
+		Model:   verify.ModelRouted,
+		II:      ii,
+		PlacePE: []int{0, 4, 1, 0},
+		PlaceT:  []int{0, 0, 3, 3},
+		Routes: [][]int32{
+			path(g.ResNode(0, 1), g.WPortNode(0, 1), g.RegNode(0, 0, 2),
+				g.RegNode(0, 0, 3), g.RPortNode(0, 3), g.LinkNode(l01, 3), g.FUNode(1, 3)),
+			path(g.ResNode(4, 1), g.WPortNode(4, 1), g.RegNode(4, 0, 2),
+				g.RegNode(4, 0, 3), g.RPortNode(4, 3), g.LinkNode(l40, 3), g.FUNode(0, 3)),
+		},
+	}
+	return d, a, m
+}
+
+func TestRoutedFixtureIsLegal(t *testing.T) {
+	d, a, m := routedFixture(t)
+	if err := verify.Check(d, a, m, nil); err != nil {
+		t.Fatalf("hand-built fixture rejected: %v", err)
+	}
+}
+
+func TestShapeViolations(t *testing.T) {
+	d, a, m := routedFixture(t)
+
+	wantConstraint(t, verify.Check(d, a, nil, nil), "shape")
+
+	c := cloneMapping(m)
+	c.II = 0
+	wantConstraint(t, verify.Check(d, a, c, nil), "shape")
+
+	c = cloneMapping(m)
+	c.PlacePE = c.PlacePE[:2]
+	wantConstraint(t, verify.Check(d, a, c, nil), "shape")
+
+	wantConstraint(t, verify.Check(d, a, m, [][]int{{0}, {0}}), "shape")
+
+	c = cloneMapping(m)
+	c.Routes = c.Routes[:1]
+	wantConstraint(t, verify.Check(d, a, c, nil), "shape")
+
+	c = cloneMapping(m)
+	c.Model = verify.Model(7)
+	wantConstraint(t, verify.Check(d, a, c, nil), "shape")
+}
+
+func TestPlacementViolations(t *testing.T) {
+	d, a, m := routedFixture(t)
+
+	c := cloneMapping(m)
+	c.PlacePE[0] = a.NumPEs()
+	wantConstraint(t, verify.Check(d, a, c, nil), "placement")
+
+	c = cloneMapping(m)
+	c.PlaceT[0] = -1
+	wantConstraint(t, verify.Check(d, a, c, nil), "placement")
+}
+
+func TestMemOpPlacement(t *testing.T) {
+	a := arch.Preset4x4()
+	d := dfg.New("mem")
+	d.AddNode(dfg.OpLoad, "")
+	d.MustFreeze()
+	m := &verify.Mapping{Model: verify.ModelRouted, II: 1,
+		PlacePE: []int{0}, PlaceT: []int{0}, Routes: [][]int32{}}
+	if err := verify.Check(d, a, m, nil); err != nil {
+		t.Fatalf("load on memory-capable PE rejected: %v", err)
+	}
+	m.PlacePE[0] = 1 // column 1 has no memory-bank port
+	wantConstraint(t, verify.Check(d, a, m, nil), "placement")
+}
+
+func TestGuidanceContainment(t *testing.T) {
+	a := arch.Preset8x8()
+	d := dfg.New("guided")
+	d.AddNode(dfg.OpConst, "")
+	d.MustFreeze()
+	m := &verify.Mapping{Model: verify.ModelCrossbar, II: 1,
+		PlacePE: []int{0}, PlaceT: []int{0}}
+	home := a.ClusterOf(0)
+	if err := verify.Check(d, a, m, [][]int{{home}}); err != nil {
+		t.Fatalf("placement inside its allowed cluster rejected: %v", err)
+	}
+	if err := verify.Check(d, a, m, [][]int{nil}); err != nil {
+		t.Fatalf("nil per-node restriction must mean unrestricted: %v", err)
+	}
+	other := a.ClusterOf(a.NumPEs() - 1)
+	if other == home {
+		t.Fatal("preset should have more than one cluster")
+	}
+	wantConstraint(t, verify.Check(d, a, m, [][]int{{other}}), "guidance")
+}
+
+func TestExclusivityViolation(t *testing.T) {
+	d, a, m := routedFixture(t)
+	c := cloneMapping(m)
+	c.PlaceT[3] = 2 // D moves to (pe0, slot 0), A's FU slot
+	wantConstraint(t, verify.Check(d, a, c, nil), "exclusivity")
+}
+
+func TestTimingViolation(t *testing.T) {
+	d, a, m := routedFixture(t)
+	c := cloneMapping(m)
+	c.PlaceT[2] = 0 // C consumes A's value before it exists
+	wantConstraint(t, verify.Check(d, a, c, nil), "timing")
+}
+
+func TestRouteViolations(t *testing.T) {
+	d, a, m := routedFixture(t)
+	g, err := mrrg.New(a, m.II)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := cloneMapping(m)
+	c.Routes[0] = nil
+	wantConstraint(t, verify.Check(d, a, c, nil), "route")
+
+	c = cloneMapping(m)
+	c.Routes[0][0] = int32(g.ResNode(1, 1)) // wrong producer anchor
+	wantConstraint(t, verify.Check(d, a, c, nil), "route")
+
+	c = cloneMapping(m)
+	c.Routes[0][len(c.Routes[0])-1] = int32(g.FUNode(1, 0)) // wrong consumer anchor
+	wantConstraint(t, verify.Check(d, a, c, nil), "route")
+
+	c = cloneMapping(m)
+	c.Routes[0][2] = c.Routes[0][1] // write port to itself: no such MRRG hop
+	wantConstraint(t, verify.Check(d, a, c, nil), "route")
+
+	// Deferring C by one full II keeps every anchor (modulo nodes) but
+	// the route now takes 2 cycles where the schedule needs 4.
+	c = cloneMapping(m)
+	c.PlaceT[2] = 5
+	wantConstraint(t, verify.Check(d, a, c, nil), "route")
+}
+
+func TestRouteRevisitViolation(t *testing.T) {
+	a := arch.Preset4x4()
+	d := dfg.New("revisit")
+	d.AddNode(dfg.OpConst, "")
+	d.AddNode(dfg.OpAdd, "")
+	d.AddEdgeDist(0, 1, 0)
+	d.MustFreeze()
+	const ii = 2
+	g, err := mrrg.New(a, ii)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parking in register 0 for two IIs wraps the value onto the modulo
+	// node that holds its own next iteration.
+	m := &verify.Mapping{Model: verify.ModelRouted, II: ii,
+		PlacePE: []int{0, 0}, PlaceT: []int{0, 5},
+		Routes: [][]int32{path(g.ResNode(0, 1), g.WPortNode(0, 1), g.RegNode(0, 0, 2),
+			g.RegNode(0, 0, 3), g.RegNode(0, 0, 4), g.FUNode(0, 5))},
+	}
+	wantConstraint(t, verify.Check(d, a, m, nil), "route")
+}
+
+func TestCapacityViolation(t *testing.T) {
+	d, a, m := routedFixture(t)
+	g, err := mrrg.New(a, m.II)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reroute B's value through pe0's register 0, where A's value is
+	// already parked: two distinct streams in a capacity-1 register.
+	l40 := findLink(t, g, 4, 0)
+	c := cloneMapping(m)
+	c.Routes[1] = path(g.ResNode(4, 1), g.LinkNode(l40, 1), g.WPortNode(0, 1),
+		g.RegNode(0, 0, 2), g.RegNode(0, 0, 3), g.RPortNode(0, 3), g.FUNode(0, 3))
+	wantConstraint(t, verify.Check(d, a, c, nil), "capacity")
+}
+
+// crossbarFixture: one producer fanning out to two consumers one and
+// two hops away, both issuing in modulo slot 1, so the producer PE
+// forwards two values in one cycle.
+func crossbarFixture(t *testing.T) (*dfg.Graph, *arch.CGRA, *verify.Mapping) {
+	t.Helper()
+	a := arch.Preset4x4()
+	d := dfg.New("xbar")
+	d.AddNode(dfg.OpConst, "")
+	d.AddNode(dfg.OpAdd, "")
+	d.AddNode(dfg.OpAdd, "")
+	d.AddEdgeDist(0, 1, 0)
+	d.AddEdgeDist(0, 2, 0)
+	d.MustFreeze()
+	m := &verify.Mapping{Model: verify.ModelCrossbar, II: 2,
+		PlacePE: []int{0, 1, 2}, PlaceT: []int{0, 1, 1}}
+	return d, a, m
+}
+
+func TestCrossbarBandwidth(t *testing.T) {
+	d, a, m := crossbarFixture(t)
+	if err := verify.Check(d, a, m, nil); err != nil {
+		t.Fatalf("two transfers within the default capacity rejected: %v", err)
+	}
+	m.CrossbarCap = 1 // pe0 forwards both values in slot 1: over budget
+	wantConstraint(t, verify.Check(d, a, m, nil), "bandwidth")
+}
+
+func TestCrossbarSamePETransferIsFree(t *testing.T) {
+	a := arch.Preset4x4()
+	d := dfg.New("local")
+	d.AddNode(dfg.OpConst, "")
+	d.AddNode(dfg.OpAdd, "")
+	d.AddNode(dfg.OpAdd, "")
+	d.AddEdgeDist(0, 1, 0)
+	d.AddEdgeDist(0, 2, 0)
+	d.MustFreeze()
+	// All three on pe0 at distinct slots: local register reads spend no
+	// crossbar bandwidth even at capacity 1.
+	m := &verify.Mapping{Model: verify.ModelCrossbar, II: 3, CrossbarCap: 1,
+		PlacePE: []int{0, 0, 0}, PlaceT: []int{0, 1, 2}}
+	if err := verify.Check(d, a, m, nil); err != nil {
+		t.Fatalf("same-PE transfers must be free: %v", err)
+	}
+}
+
+func TestTimingRecurrenceEdge(t *testing.T) {
+	// A self-recurrence with distance 1 is legal exactly when II covers
+	// the producer's latency.
+	a := arch.Preset4x4()
+	d := dfg.New("rec")
+	d.AddNode(dfg.OpConst, "")
+	d.AddNode(dfg.OpAdd, "")
+	d.AddEdgeDist(0, 1, 0)
+	d.AddEdgeDist(1, 1, 1)
+	d.MustFreeze()
+	m := &verify.Mapping{Model: verify.ModelCrossbar, II: 1,
+		PlacePE: []int{0, 1}, PlaceT: []int{0, 1}}
+	if err := verify.Check(d, a, m, nil); err != nil {
+		t.Fatalf("II=1 self-recurrence of a latency-1 op rejected: %v", err)
+	}
+}
