@@ -4,13 +4,32 @@ GO ?= go
 # nightly CI job raises it (see .github/workflows/ci.yml).
 FUZZTIME ?= 10s
 
-.PHONY: check build test vet race bench check-fault check-service check-diff fuzz
+.PHONY: check build test vet race bench check-fault check-service check-diff check-obs docs fuzz
 
-# The repository's verification gate: vet, build everything, then the
-# full test suite with the race detector (the parallel pipeline and
-# harness paths all run under it), plus the fault-injection matrix and
-# the service-layer contract tests.
-check: vet build race check-fault check-service
+# The repository's verification gate: formatting + godoc contract, vet,
+# build everything, then the full test suite with the race detector
+# (the parallel pipeline and harness paths all run under it), plus the
+# fault-injection matrix, the service-layer contract tests, and the
+# observability overhead guard.
+check: docs vet build race check-fault check-service check-obs
+
+# The documentation contract: everything gofmt-clean, and every
+# exported symbol in the audited packages carries a doc comment
+# (cmd/doccheck). OBSERVABILITY.md documents the metric and span
+# inventory these packages emit.
+docs:
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) run ./cmd/doccheck ./internal/core ./internal/dfg ./internal/verify \
+		./internal/service ./internal/failure ./internal/obs
+
+# The observability contracts: span-tree well-formedness under 16
+# concurrent requests, /metricsz exposition-format validity, the
+# drain-time flush regression, and the no-op overhead guard — under the
+# race detector (the overhead benchmark itself runs without it).
+check-obs:
+	$(GO) test -race ./internal/obs/ ./internal/obs/obstest/
+	$(GO) test -run 'TestNoopOverhead|TestTraceOverheadBounded|TestStageSpansSumToWallTime' ./internal/core/
 
 # The property-based differential harness: both lower-level mappers and
 # the full pipeline over the seeded random-DFG corpus, every successful

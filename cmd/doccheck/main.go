@@ -1,0 +1,158 @@
+// Command doccheck enforces the repository's godoc contract: every
+// package named on the command line must have a package comment, and
+// every exported top-level symbol in it — functions, methods on
+// exported types, types, and the names of exported const/var
+// declarations — must carry a doc comment. A group doc comment covers
+// every name in the group (the usual Go idiom for const blocks).
+//
+// Usage:
+//
+//	doccheck ./internal/core ./internal/obs ...
+//
+// Output is one "path: symbol" line per missing comment; the exit code
+// is 1 when anything is missing, so `make docs` can gate CI on it.
+// Test files are ignored.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package-dir> [package-dir...]")
+		os.Exit(2)
+	}
+	missing := 0
+	for _, dir := range os.Args[1:] {
+		m, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, s := range m {
+			fmt.Println(s)
+		}
+		missing += len(m)
+	}
+	if missing > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d missing doc comment(s)\n", missing)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory (test files excluded) and
+// returns a sorted list of "file:line: symbol ..." findings.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			out = append(out, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+		for name, f := range pkg.Files {
+			out = append(out, checkFile(fset, filepath.Base(name), f)...)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// checkFile walks one file's top-level declarations.
+func checkFile(fset *token.FileSet, name string, f *ast.File) []string {
+	var out []string
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s/%s:%d: %s has no doc comment", filepath.Dir(fset.Position(f.Pos()).Filename), name, p.Line, what))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if d.Recv != nil {
+				// Methods need docs only when the receiver type is
+				// itself exported (methods of unexported types are
+				// internal API however they are spelled).
+				if !exportedRecv(d.Recv) {
+					continue
+				}
+				report(d.Pos(), "method "+recvName(d.Recv)+"."+d.Name.Name)
+				continue
+			}
+			report(d.Pos(), "function "+d.Name.Name)
+		case *ast.GenDecl:
+			if d.Doc != nil {
+				continue // a group comment covers every spec
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), "type "+s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							report(n.Pos(), "declaration "+n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// exportedRecv reports whether the method receiver names an exported
+// type.
+func exportedRecv(recv *ast.FieldList) bool {
+	n := recvName(recv)
+	return n != "" && ast.IsExported(n)
+}
+
+// recvName extracts the receiver's type name, stripping pointers and
+// type parameters.
+func recvName(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -15,22 +15,26 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"panorama/internal/bench"
+	"panorama/internal/obs"
 	"panorama/internal/service"
 )
 
 func main() {
 	var (
-		full     = flag.Bool("full", false, "paper-scale configuration (16x16, full kernels; slow)")
-		table    = flag.String("table", "", "regenerate one table: 1a or 1b")
-		figure   = flag.String("figure", "", "regenerate one figure: 5, 7, 8 or 9")
-		ablation = flag.Bool("ablations", false, "run the ablation suite")
-		seed     = flag.Int64("seed", 1, "random seed")
-		workers  = flag.Int("j", 0, "worker pool size for the harness (0 = one per CPU, 1 = serial)")
-		timeout  = flag.Duration("timeout", 0, "wall-clock budget per configuration, e.g. 2m (0 = unbounded); a run that exceeds it keeps its table row, marked (timeout)")
-		cacheDir = flag.String("cache-dir", "", "persistent result cache shared with panorama/panoramad; configurations repeated across figures or invocations map once")
+		full      = flag.Bool("full", false, "paper-scale configuration (16x16, full kernels; slow)")
+		table     = flag.String("table", "", "regenerate one table: 1a or 1b")
+		figure    = flag.String("figure", "", "regenerate one figure: 5, 7, 8 or 9")
+		ablation  = flag.Bool("ablations", false, "run the ablation suite")
+		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("j", 0, "worker pool size for the harness (0 = one per CPU, 1 = serial)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget per configuration, e.g. 2m (0 = unbounded); a run that exceeds it keeps its table row, marked (timeout)")
+		cacheDir  = flag.String("cache-dir", "", "persistent result cache shared with panorama/panoramad; configurations repeated across figures or invocations map once")
+		traceOut  = flag.String("trace-out", "", "write the whole harness's span tree as JSON to this file (one subtree per section)")
+		effortOut = flag.String("effort-out", "", "also write the per-section effort appendices to this file (CI artifact)")
 	)
 	flag.Parse()
 
@@ -56,12 +60,38 @@ func main() {
 
 	runAll := *table == "" && *figure == "" && !*ablation
 
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace("experiments")
+		defer writeTrace(tr, *traceOut)
+	}
+	var effortLog strings.Builder
+	if *effortOut != "" {
+		defer func() {
+			if err := os.WriteFile(*effortOut, []byte(effortLog.String()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: effort-out: %v\n", err)
+			}
+		}()
+	}
+
 	section := func(name string, f func() error) {
 		fmt.Printf("==== %s (%s config) ====\n", name, cfg.Name)
+		var sp *obs.Span
+		if tr != nil {
+			sp = tr.Root().Child(name)
+		}
+		cfg.TraceSpan = sp
+		before := bench.EffortSnapshot()
 		t0 := time.Now()
-		if err := f(); err != nil {
+		err := f()
+		sp.End()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 			os.Exit(1)
+		}
+		if appendix := bench.RenderEffort(before, bench.EffortSnapshot()); appendix != "" {
+			fmt.Print(appendix)
+			fmt.Fprintf(&effortLog, "==== %s (%s config) ====\n%s\n", name, cfg.Name, appendix)
 		}
 		fmt.Printf("[%s took %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
 	}
@@ -176,4 +206,19 @@ func main() {
 			return nil
 		})
 	}
+}
+
+// writeTrace ends the trace's root span and writes the span tree as
+// JSON (best-effort: a trace failure never fails the harness).
+func writeTrace(tr *obs.Trace, path string) {
+	tr.Root().End()
+	data, err := tr.JSON()
+	if err == nil {
+		err = os.WriteFile(path, data, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: trace:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "experiments: wrote trace to %s\n", path)
 }

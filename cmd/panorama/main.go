@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"panorama/internal/arch"
@@ -22,6 +24,7 @@ import (
 	"panorama/internal/dfg"
 	"panorama/internal/failure"
 	"panorama/internal/kernels"
+	"panorama/internal/obs"
 	"panorama/internal/service"
 	"panorama/internal/sim"
 	"panorama/internal/spr"
@@ -29,6 +32,12 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is the whole program behind an exit code, so the deferred
+// profile and trace flushes always happen before the process exits.
+func run() int {
 	var (
 		kernelName = flag.String("kernel", "fir", "benchmark kernel name (see -list)")
 		dfgFile    = flag.String("dfg", "", "JSON DFG file (overrides -kernel)")
@@ -46,6 +55,9 @@ func main() {
 		verify     = flag.Bool("verify", false, "simulate the mapping and check it against the DFG reference (SPR mappers)")
 		outFile    = flag.String("out", "", "write the mapping and configuration program as JSON (SPR mappers)")
 		report     = flag.Bool("report", false, "print route/utilisation statistics (SPR mappers)")
+		traceOut   = flag.String("trace-out", "", "write the run's span tree as JSON to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -54,16 +66,39 @@ func main() {
 			g := s.Build(1.0)
 			fmt.Printf("%-14s (%s) %d nodes / %d edges at scale 1.0\n", s.Name, s.Suite, g.NumNodes(), g.NumEdges())
 		}
-		return
+		return 0
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer writeMemProfile(*memProfile)
+	}
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace("panorama")
+		defer writeTrace(tr, *traceOut)
 	}
 
 	g, err := loadDFG(*dfgFile, *kernelName, *scale)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	a, err := pickArch(*archName, *archFile)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	stats := g.ComputeStats()
@@ -77,6 +112,9 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	if tr != nil {
+		ctx = obs.WithSpan(ctx, tr.Root())
+	}
 
 	// The persistent cache is only consulted when the run needs no
 	// mapping artifacts beyond the summary (routes, schedules and
@@ -87,12 +125,11 @@ func main() {
 		var cerr error
 		cache, cerr = service.NewCache(0, *cacheDir)
 		if cerr != nil {
-			fatal(cerr)
+			return fail(cerr)
 		}
 		fp = service.Key(g, a, *mapper, *seed, core.Budgets{Total: *timeout})
 		if e, ok := cache.Get(fp); ok {
-			reportCached(e.Summary)
-			return
+			return reportCached(e.Summary)
 		}
 	}
 
@@ -121,9 +158,9 @@ func main() {
 	if err != nil {
 		if res != nil {
 			reportPartial(res, err, time.Since(start))
-			os.Exit(2)
+			return 2
 		}
-		fatal(err)
+		return fail(err)
 	}
 	elapsed := time.Since(start)
 
@@ -137,7 +174,7 @@ func main() {
 
 	if !res.Lower.Success {
 		fmt.Printf("mapping FAILED (MII %d) after %v\n", res.Lower.MII, elapsed.Round(time.Millisecond))
-		os.Exit(2)
+		return 2
 	}
 	fmt.Printf("mapped at II=%d (MII %d, QoM %.2f) in %v\n",
 		res.Lower.II, res.Lower.MII, res.Lower.QoM, elapsed.Round(time.Millisecond))
@@ -156,7 +193,7 @@ func main() {
 	if *report && sprRes != nil && sprRes.Mapping != nil {
 		rep, err := spr.Analyze(g, a, sprRes.Mapping)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Println(rep)
 	}
@@ -164,18 +201,18 @@ func main() {
 		if sprRes == nil || sprRes.Mapping == nil {
 			fmt.Println("verify: only available with -mapper spr (the mapping must carry routes)")
 		} else if err := sim.Verify(g, a, sprRes.Mapping, 4); err != nil {
-			fatal(fmt.Errorf("simulation check failed: %w", err))
+			return fail(fmt.Errorf("simulation check failed: %w", err))
 		} else {
 			fmt.Println("simulation check: fabric output matches the DFG reference")
 		}
 	}
 	if *outFile != "" {
 		if sprRes == nil || sprRes.Mapping == nil {
-			fatal(fmt.Errorf("-out requires -mapper spr (the mapping must carry routes)"))
+			return fail(fmt.Errorf("-out requires -mapper spr (the mapping must carry routes)"))
 		}
 		prog, err := config.Generate(g, a, sprRes.Mapping)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		out := struct {
 			Kernel  string          `json:"kernel"`
@@ -187,32 +224,35 @@ func main() {
 		}{g.Name, a.Name, sprRes.II, sprRes.Mapping.PlacePE, sprRes.Mapping.PlaceT, prog}
 		f, err := os.Create(*outFile)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Printf("wrote mapping + configuration program to %s\n", *outFile)
 	}
+	return 0
 }
 
 // reportCached prints a result served from the persistent cache in the
-// shape of a fresh run, plus where the time originally went.
-func reportCached(s core.Summary) {
+// shape of a fresh run, plus where the time originally went, and
+// returns the process exit code.
+func reportCached(s core.Summary) int {
 	if !s.Success {
 		fmt.Printf("cache hit: mapping FAILED (MII %d) in the original run (%.0fms)\n", s.MII, s.TotalMS)
-		os.Exit(2)
+		return 2
 	}
 	fmt.Printf("cache hit: mapped at II=%d (MII %d, QoM %.2f); original run took %.0fms (clustering %.0f, clustermap %.0f, lower %.0f)\n",
 		s.II, s.MII, s.QoM, s.TotalMS, s.ClusteringMS, s.ClusterMapMS, s.LowerMS)
 	if s.PartitionK > 0 {
 		fmt.Printf("clustering: K=%d (guidance: %s)\n", s.PartitionK, s.Guidance)
 	}
+	return 0
 }
 
 // reportPartial prints whatever the pipeline completed before a typed
@@ -289,7 +329,38 @@ func pickArch(name, file string) (*arch.CGRA, error) {
 	return nil, fmt.Errorf("unknown architecture %q (want 4x4, 8x8, 9x9, 16x16)", name)
 }
 
-func fatal(err error) {
+// fail prints the error and returns the generic failure exit code.
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "panorama:", err)
-	os.Exit(1)
+	return 1
+}
+
+// writeTrace ends the trace's root span and writes the span tree as
+// JSON; errors are reported but do not change the exit code (the
+// mapping already succeeded or failed on its own terms).
+func writeTrace(tr *obs.Trace, path string) {
+	tr.Root().End()
+	data, err := tr.JSON()
+	if err == nil {
+		err = os.WriteFile(path, data, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "panorama: trace:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "panorama: wrote trace to %s\n", path)
+}
+
+// writeMemProfile captures an up-to-date heap profile.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "panorama: memprofile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // materialise the final live set
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "panorama: memprofile:", err)
+	}
 }

@@ -14,10 +14,17 @@
 //	                     "wait":true blocks for the outcome
 //	GET  /v1/jobs/{id}   job status/result (?wait=1 blocks)
 //	GET  /v1/result/{fp} cached result by fingerprint
-//	GET  /healthz        liveness; GET /statsz counters
+//	GET  /v1/trace/{id}  the job's span tree (JSON)
+//	GET  /healthz        liveness; GET /metricsz Prometheus metrics;
+//	                     GET /statsz JSON counters (deprecated alias)
 //
-// SIGINT/SIGTERM starts a graceful shutdown: listeners close, queued
-// and in-flight jobs drain within -drain, then the process exits.
+// SIGINT/SIGTERM starts a graceful shutdown: queued and in-flight jobs
+// drain within -drain while the endpoints stay up (so a final scrape
+// of /metricsz sees the completed counters), then the listeners close,
+// a last metrics snapshot is logged, and the process exits.
+//
+// -pprof-addr starts a second listener serving net/http/pprof (kept
+// off the public mux so profiling is never exposed by accident).
 package main
 
 import (
@@ -27,8 +34,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,6 +56,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 5*time.Minute, "default per-job wall-clock budget (requests may lower it via timeoutMS); 0 = unbounded")
 		drain     = flag.Duration("drain", 0, "graceful-shutdown drain budget; 0 = the per-job -timeout")
 		retry     = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -71,6 +81,22 @@ func main() {
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("panoramad: listening on %s (workers=%d queue=%d timeout=%v)", *addr, *workers, *queue, *timeout)
 
+	if *pprofAddr != "" {
+		// pprof lives on its own listener, never on the service mux.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("panoramad: pprof on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				log.Printf("panoramad: pprof: %v", err)
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -80,8 +106,13 @@ func main() {
 		log.Printf("panoramad: %v — draining", s)
 	}
 
-	// Stop accepting connections, then drain the job queue within the
-	// total budget (the service cancels stragglers at the deadline).
+	// Drain the job queue first, with the endpoints still up: the final
+	// stats of in-flight jobs land in the counters while /metricsz and
+	// /statsz can still be scraped, so a terminating pod's last scrape
+	// is complete instead of losing everything that finished during the
+	// drain. New submissions are already refused (503) the moment the
+	// service starts draining. Only then close the listeners, and log a
+	// last metrics snapshot for operators with no scraper attached.
 	drainBudget := *drain
 	if drainBudget <= 0 {
 		drainBudget = *timeout
@@ -91,12 +122,26 @@ func main() {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), drainBudget)
 	defer cancel()
+	drainErr := srv.Shutdown(ctx)
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("panoramad: http shutdown: %v", err)
 	}
-	if err := srv.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "panoramad: drain incomplete: %v\n", err)
+	logFinalMetrics(srv)
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "panoramad: drain incomplete: %v\n", drainErr)
 		os.Exit(1)
 	}
 	log.Printf("panoramad: drained cleanly")
+}
+
+// logFinalMetrics writes the complete metrics snapshot to the log so
+// the last state of a terminated daemon survives even without a
+// scraper.
+func logFinalMetrics(srv *service.Server) {
+	var sb strings.Builder
+	if err := srv.WriteMetrics(&sb); err != nil {
+		log.Printf("panoramad: final metrics: %v", err)
+		return
+	}
+	log.Printf("panoramad: final metrics snapshot:\n%s", sb.String())
 }

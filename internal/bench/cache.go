@@ -8,6 +8,7 @@ import (
 	"panorama/internal/arch"
 	"panorama/internal/core"
 	"panorama/internal/dfg"
+	"panorama/internal/obs"
 	"panorama/internal/service"
 )
 
@@ -26,10 +27,16 @@ func (c Config) mapSummary(ctx context.Context, g *dfg.Graph, a *arch.CGRA, lowe
 	if pan {
 		mapper = "pan-" + mapper
 	}
+	ctx, sp := obs.StartSpan(ctx, "config")
+	sp.Set("kernel", g.Name)
+	sp.Set("arch", a.Name)
+	sp.Set("mapper", mapper)
+	defer sp.End()
 	var fp string
 	if c.Cache != nil {
 		fp = service.Key(g, a, mapper, c.Seed, core.Budgets{Total: c.Timeout})
 		if e, ok := c.Cache.Get(fp); ok {
+			sp.Set("cache", "hit")
 			return e.Summary, nil
 		}
 	}

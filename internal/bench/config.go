@@ -18,6 +18,7 @@ import (
 	"panorama/internal/core"
 	"panorama/internal/dfg"
 	"panorama/internal/kernels"
+	"panorama/internal/obs"
 	"panorama/internal/service"
 	"panorama/internal/spr"
 	"panorama/internal/ultrafast"
@@ -57,6 +58,12 @@ type Config struct {
 	// byte-identical to uncached ones: the pipeline is deterministic
 	// per fingerprint.
 	Cache *service.Cache
+
+	// TraceSpan, when non-nil, is the parent span every configuration
+	// run records under (one "config" child per kernel×mapper×arch run,
+	// with the pipeline's stage spans below it). cmd/experiments sets
+	// one per section for its -trace-out flag; nil disables tracing.
+	TraceSpan *obs.Span
 
 	SPR        spr.Options
 	UltraFast  ultrafast.Options

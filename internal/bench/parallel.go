@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"panorama/internal/failure"
+	"panorama/internal/obs"
 	"panorama/internal/pool"
 )
 
@@ -20,8 +21,9 @@ import (
 // rather than hanging the harness.
 func mapOrdered[T any](cfg Config, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	_, err := pool.Run(context.Background(), cfg.Workers, n, func(i int) error {
-		ctx := context.Background()
+	base := obs.WithSpan(context.Background(), cfg.TraceSpan)
+	_, err := pool.Run(base, cfg.Workers, n, func(i int) error {
+		ctx := base
 		if cfg.Timeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)

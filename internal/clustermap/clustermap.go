@@ -27,6 +27,7 @@ import (
 
 	"panorama/internal/failure"
 	"panorama/internal/ilp"
+	"panorama/internal/obs"
 	"panorama/internal/spectral"
 )
 
@@ -115,15 +116,26 @@ func MapCtx(ctx context.Context, cdg *spectral.CDG, r, c int, opts Options) (res
 	if opts.MaxNodes <= 0 {
 		opts.MaxNodes = 20_000
 	}
+	ctx, span := obs.StartSpan(ctx, "clustermap.attempt")
+	defer span.End()
+	span.Set("zeta1", opts.Zeta1)
+	span.Set("zeta2", opts.Zeta2)
+	span.Set("k", cdg.K)
 
 	rows, ok, err := columnScatter(ctx, cdg, r, c, opts)
 	if err != nil || !ok {
+		recordAttempt(span, ok, err)
 		return nil, ok, err
 	}
 	cols, greedyRows, limited, err := rowScatter(ctx, cdg, rows, r, c, opts)
 	if err != nil {
+		recordAttempt(span, false, err)
 		return nil, false, err
 	}
+	recordAttempt(span, true, nil)
+	mGreedyRows.Add(int64(greedyRows))
+	span.Set("greedyRows", greedyRows)
+	span.Set("limited", limited)
 
 	res = &Result{
 		CDG: cdg, R: r, C: c,
@@ -132,7 +144,24 @@ func MapCtx(ctx context.Context, cdg *spectral.CDG, r, c int, opts Options) (res
 		GreedyRows: greedyRows, Limited: limited,
 	}
 	res.fillStats()
+	span.Set("score", res.Score())
 	return res, true, nil
+}
+
+// recordAttempt classifies one MapCtx attempt for the effort metrics
+// and mirrors the outcome onto the attempt span.
+func recordAttempt(span *obs.Span, ok bool, err error) {
+	switch {
+	case err != nil:
+		mAttemptError.Inc()
+		span.Set("outcome", "error")
+	case !ok:
+		mAttemptInfeasible.Inc()
+		span.Set("outcome", "infeasible")
+	default:
+		mAttemptOK.Inc()
+		span.Set("outcome", "ok")
+	}
 }
 
 // MapWithEscalation implements Algorithm 1 lines 6-9: retry with

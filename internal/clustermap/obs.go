@@ -1,0 +1,17 @@
+package clustermap
+
+import "panorama/internal/obs"
+
+// Cluster-mapping effort metrics: one attempt is a full column+row
+// scattering at fixed ζ; the greedy counter tracks how often the row
+// ILP lost to its fallback.
+var (
+	mAttemptsVec = obs.NewCounterVec("panorama_clustermap_attempts_total",
+		"Cluster-mapping attempts (one column+row scattering at fixed zeta) by outcome.", "outcome")
+	mAttemptOK         = mAttemptsVec.With("ok")
+	mAttemptInfeasible = mAttemptsVec.With("infeasible")
+	mAttemptError      = mAttemptsVec.With("error")
+
+	mGreedyRows = obs.NewCounter("panorama_clustermap_greedy_rows_total",
+		"Cluster-grid rows whose final column assignment came from the greedy fallback instead of the row ILP.")
+)

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"time"
+
+	"panorama/internal/obs"
+)
+
+// Pipeline-level metrics: per-stage wall time, achieved II, and the
+// outcome mix of completed mapping requests.
+var (
+	mStageSeconds = obs.NewHistogramVec("panorama_stage_seconds",
+		"Wall-clock time of each pipeline stage.", obs.TimeBuckets, "stage")
+	mMappingII = obs.NewHistogram("panorama_mapping_ii",
+		"Achieved initiation interval of successful mappings.", obs.IIBuckets)
+	mMappingsVec = obs.NewCounterVec("panorama_mappings_total",
+		"Completed mapping pipeline runs by outcome: guided/relaxed/fallback "+
+			"name the guidance level of a successful Panorama run, baseline a "+
+			"successful unguided run, unmapped a clean run with no feasible "+
+			"mapping, failed an error return.", "outcome")
+)
+
+// observeStage feeds one stage's wall time into the stage histogram.
+func observeStage(stage string, wall time.Duration) {
+	mStageSeconds.With(stage).Observe(wall.Seconds())
+}
+
+// recordOutcome classifies a finished pipeline run into the outcome
+// counter and, on success, the II histogram.
+func recordOutcome(res *Result, err error, baseline bool) {
+	switch {
+	case err != nil || res == nil:
+		mMappingsVec.With("failed").Inc()
+	case !res.Lower.Success:
+		mMappingsVec.With("unmapped").Inc()
+	case baseline:
+		mMappingsVec.With("baseline").Inc()
+		mMappingII.Observe(float64(res.Lower.II))
+	default:
+		mMappingsVec.With(res.GuidanceLabel()).Inc()
+		mMappingII.Observe(float64(res.Lower.II))
+	}
+}

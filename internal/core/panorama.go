@@ -19,6 +19,7 @@ import (
 	"panorama/internal/dfg"
 	"panorama/internal/failure"
 	"panorama/internal/faultinject"
+	"panorama/internal/obs"
 	"panorama/internal/pool"
 	"panorama/internal/spectral"
 	"panorama/internal/spr"
@@ -127,6 +128,7 @@ type Provenance struct {
 
 func (p *Provenance) record(stage string, wall time.Duration, note string) {
 	p.Stages = append(p.Stages, StageRecord{Stage: stage, Wall: wall, Note: note})
+	observeStage(stage, wall)
 }
 
 // Config tunes the Panorama pipeline.
@@ -190,6 +192,12 @@ type Result struct {
 	// the run, which stage exhausted it. It is filled in even when the
 	// pipeline returns an error next to this partial Result.
 	Provenance Provenance
+
+	// Trace is the observability trace the run was recorded into, when
+	// the caller attached one to the context (obs.WithSpan); nil
+	// otherwise. It is not part of the Summary wire form — the service
+	// serves it separately (GET /v1/trace/{id}).
+	Trace *obs.Trace
 }
 
 // TotalTime returns the end-to-end compilation time.
@@ -253,6 +261,7 @@ func MapPanorama(d *dfg.Graph, a *arch.CGRA, lower Lower, cfg Config) (*Result, 
 // stage that exhausted it. A panic anywhere in the pipeline is
 // recovered into a *failure.PanicError instead of crashing the caller.
 func MapPanoramaCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, lower Lower, cfg Config) (res *Result, err error) {
+	defer func() { recordOutcome(res, err, false) }()
 	defer func() {
 		if r := recover(); r != nil {
 			err = failure.Stage("pipeline", failure.NewPanic(-1, r, debug.Stack()))
@@ -273,14 +282,17 @@ func MapPanoramaCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, lower Lower
 		ctx, cancel = context.WithTimeout(ctx, cfg.Budgets.Total)
 		defer cancel()
 	}
-	res = &Result{Kernel: d.Name}
+	res = &Result{Kernel: d.Name, Trace: obs.TraceFrom(ctx)}
 
 	// Lines 1-4: clustering sweep k = R .. m. One eigendecomposition,
 	// k-means fanned out per k. This stage has no degraded form: its
 	// budget firing aborts the run.
 	t0 := time.Now()
 	cctx, ccancel := stageCtx(ctx, cfg.Budgets.Clustering)
+	cctx, csp := obs.StartSpan(cctx, "clustering")
+	csp.Set("maxK", cfg.MaxDFGClusters)
 	parts, sweepStats, err := spectral.SweepCtx(cctx, d, r, cfg.MaxDFGClusters, cfg.Seed, cfg.Workers)
+	csp.End()
 	ccancel()
 	res.ClusteringTime = time.Since(t0)
 	res.SweepStats = sweepStats
@@ -324,16 +336,21 @@ func MapPanoramaCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, lower Lower
 	// cancellation errors stop the fan-out (there is no point starting
 	// more candidates); infeasible candidates are dropped silently.
 	mctx, mcancel := stageCtx(ctx, cfg.Budgets.ClusterMap)
+	mctx, msp := obs.StartSpan(mctx, "clustermap")
+	msp.Set("candidates", len(top))
 	cms := make([]*clustermap.Result, len(top))
 	cmStats, cmErr := pool.Run(mctx, cfg.Workers, len(top), func(i int) error {
+		ictx, isp := obs.StartSpan(mctx, "candidate")
+		isp.Set("index", i)
+		defer isp.End()
 		cdg := spectral.BuildCDG(d, top[i])
-		cm, err := clustermap.MapWithEscalationCtx(mctx, cdg, r, c, cmOpts)
+		cm, err := clustermap.MapWithEscalationCtx(ictx, cdg, r, c, cmOpts)
 		if err != nil && !failure.IsBudget(err) && !failure.IsCancelled(err) {
 			// Capacity can be unsatisfiable for very lumpy partitions;
 			// retry this candidate unconstrained rather than dropping it.
 			relaxed := cmOpts
 			relaxed.NodeCapacity, relaxed.MemCapacity = 0, 0
-			cm, err = clustermap.MapWithEscalationCtx(mctx, cdg, r, c, relaxed)
+			cm, err = clustermap.MapWithEscalationCtx(ictx, cdg, r, c, relaxed)
 		}
 		if err != nil {
 			if failure.IsBudget(err) || failure.IsCancelled(err) {
@@ -344,6 +361,7 @@ func MapPanoramaCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, lower Lower
 		cms[i] = cm
 		return nil
 	})
+	msp.End()
 	mcancel()
 	var best *clustermap.Result
 	var bestPart *spectral.Partition
@@ -409,10 +427,15 @@ func MapPanoramaCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, lower Lower
 		)
 	}
 	t2 := time.Now()
+	lctx, lsp := obs.StartSpan(ctx, "lower")
+	defer lsp.End()
 	var lastErr error
 	note := ""
 	for _, rg := range rungs {
-		low, lerr := runRung(ctx, cfg.Budgets.Lower, lower, d, a, rg.allowed)
+		rctx, rsp := obs.StartSpan(lctx, "rung")
+		rsp.Set("rung", rg.name)
+		low, lerr := runRung(rctx, cfg.Budgets.Lower, lower, d, a, rg.allowed)
+		rsp.End()
 		if lerr != nil {
 			if ctx.Err() != nil || isPanic(lerr) {
 				// The pipeline deadline fired (or the mapper panicked):
@@ -689,6 +712,7 @@ func MapBaseline(d *dfg.Graph, a *arch.CGRA, lower Lower) (*Result, error) {
 // failure taxonomy and panics are recovered, exactly as in
 // MapPanoramaCtx.
 func MapBaselineCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, lower Lower) (res *Result, err error) {
+	defer func() { recordOutcome(res, err, true) }()
 	defer func() {
 		if r := recover(); r != nil {
 			err = failure.Stage("pipeline", failure.NewPanic(-1, r, debug.Stack()))
@@ -697,9 +721,11 @@ func MapBaselineCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, lower Lower
 	if err := d.Freeze(); err != nil {
 		return nil, err
 	}
-	res = &Result{Kernel: d.Name}
+	res = &Result{Kernel: d.Name, Trace: obs.TraceFrom(ctx)}
 	t := time.Now()
-	low, lerr := lower.Map(ctx, d, a, nil)
+	lctx, lsp := obs.StartSpan(ctx, "lower")
+	low, lerr := lower.Map(lctx, d, a, nil)
+	lsp.End()
 	res.LowerTime = time.Since(t)
 	res.Provenance.record("lower", res.LowerTime, "unguided")
 	if lerr != nil {

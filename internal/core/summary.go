@@ -65,7 +65,9 @@ func (r *Result) Summarize() Summary {
 // Relaxed reports the "relaxed" guidance rung (memory ops freed, rest
 // of the guidance kept); FellBack reports the unguided fallback. They
 // mirror Result.Relaxed / Result.FellBack on the wire form.
-func (s Summary) Relaxed() bool  { return s.Guidance == "relaxed" }
+func (s Summary) Relaxed() bool { return s.Guidance == "relaxed" }
+
+// FellBack reports the unguided fallback rung; see Relaxed.
 func (s Summary) FellBack() bool { return s.Guidance == "fallback" }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

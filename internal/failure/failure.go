@@ -42,6 +42,7 @@ type StageError struct {
 	Err   error
 }
 
+// Error prefixes the cause with the stage that produced it.
 func (e *StageError) Error() string { return e.Stage + ": " + e.Err.Error() }
 
 // Unwrap exposes the classified cause to errors.Is/As.
@@ -117,6 +118,8 @@ func NewPanic(index int, value any, stack []byte) *PanicError {
 	return &PanicError{Index: index, Value: value, Stack: stack}
 }
 
+// Error renders the recovered value with its stack (and the pool task
+// index when the panic happened inside a worker).
 func (e *PanicError) Error() string {
 	if e.Index >= 0 {
 		return fmt.Sprintf("panic in task %d: %v\n%s", e.Index, e.Value, e.Stack)

@@ -29,7 +29,13 @@ import (
 	"sync/atomic"
 
 	"panorama/internal/failure"
+	"panorama/internal/obs"
 )
+
+// mTrips counts faults actually injected (a matching armed rule fired)
+// by site. Unarmed Fire calls never touch it.
+var mTrips = obs.NewCounterVec("panorama_fault_trips_total",
+	"Faults injected by an armed fault plan, by injection site.", "site")
 
 // Named injection sites at the pipeline's stage boundaries.
 const (
@@ -159,6 +165,7 @@ func Fire(site string) error {
 	if match == nil {
 		return nil
 	}
+	mTrips.With(site).Inc()
 	switch match.Kind {
 	case Panic:
 		panic(fmt.Sprintf("faultinject: forced panic at %s (hit %d)", site, hit))

@@ -92,7 +92,9 @@ func (m *Model) SolveCtx(ctx context.Context, opts Options) *Result {
 	if err := faultinject.Fire(faultinject.SiteILPSolve); err != nil {
 		// An injected fault is indistinguishable from an instantly
 		// expired budget: Limit with no incumbent.
-		return &Result{Status: Limit}
+		res := &Result{Status: Limit}
+		record(ctx, m, res)
+		return res
 	}
 	if opts.MaxNodes <= 0 {
 		opts.MaxNodes = 2_000_000
@@ -131,6 +133,7 @@ func (m *Model) SolveCtx(ctx context.Context, opts Options) *Result {
 	default:
 		res.Status = Infeasible
 	}
+	record(ctx, m, res)
 	return res
 }
 

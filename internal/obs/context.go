@@ -1,0 +1,42 @@
+package obs
+
+import "context"
+
+// spanKey is the context key under which the current span travels.
+type spanKey struct{}
+
+// WithSpan returns a context carrying s as the current span. A nil
+// span returns ctx unchanged, so the no-op path allocates nothing.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// FromContext returns the current span, or nil when the context
+// carries none. The nil span is the no-op recorder: every Span method
+// is safe on it.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a child of the context's current span and returns a
+// derived context carrying it. When the context carries no span it
+// returns (ctx, nil) without allocating — instrumented code calls this
+// unconditionally and the disabled path stays free.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	c := parent.Child(name)
+	return context.WithValue(ctx, spanKey{}, c), c
+}
+
+// TraceFrom returns the trace the context's span belongs to, or nil
+// when the context carries no span.
+func TraceFrom(ctx context.Context) *Trace {
+	return FromContext(ctx).Trace()
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"panorama/internal/obs/obstest"
+)
+
+func TestCounterAndVec(t *testing.T) {
+	c := NewCounter("obstest_plain_total", "plain test counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter at %d, want 5", c.Value())
+	}
+
+	vec := NewCounterVec("obstest_labelled_total", "labelled test counter", "site")
+	vec.With("a").Add(2)
+	vec.With("b").Inc()
+	if vec.With("a") != vec.With("a") {
+		t.Fatal("With must return the same child for the same labels")
+	}
+	if vec.With("a").Value() != 2 || vec.With("b").Value() != 1 {
+		t.Fatal("labelled children not independent")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram("obstest_hist", "test histogram", []float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 3, 7, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+	if h.Sum() != 111.5 {
+		t.Fatalf("sum %g, want 111.5", h.Sum())
+	}
+	// sample() is cumulative: le=1 -> 2 (0.5 and the boundary value 1),
+	// le=5 -> 3, le=10 -> 4, +Inf -> 5.
+	s := h.sample()
+	want := []float64{2, 3, 4, 5, 111.5, 5}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("sample %v, want %v", s, want)
+		}
+	}
+}
+
+func TestRegisterGaugeReplaces(t *testing.T) {
+	RegisterGauge("obstest_gauge", "test gauge", func() float64 { return 1 })
+	RegisterGauge("obstest_gauge", "test gauge", func() float64 { return 42 })
+	if v := Default.Snapshot()["obstest_gauge"]; v != 42 {
+		t.Fatalf("gauge reads %g, want the replacement's 42", v)
+	}
+}
+
+func TestReregisterConflictPanics(t *testing.T) {
+	NewCounter("obstest_conflict_total", "first registration")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with a different type must panic")
+		}
+	}()
+	NewHistogram("obstest_conflict_total", "as a histogram", TimeBuckets)
+}
+
+func TestSnapshotShapes(t *testing.T) {
+	NewCounterVec("obstest_snap_total", "snapshot test", "k").With("v").Add(3)
+	NewHistogram("obstest_snap_hist", "snapshot histogram", IIBuckets).Observe(4)
+	snap := Default.Snapshot()
+	if snap[`obstest_snap_total{k="v"}`] != 3 {
+		t.Fatalf("labelled counter missing from snapshot: %v", snap)
+	}
+	if snap["obstest_snap_hist_sum"] != 4 || snap["obstest_snap_hist_count"] != 1 {
+		t.Fatal("histogram sum/count missing from snapshot")
+	}
+}
+
+func TestWritePromIsValidAndStable(t *testing.T) {
+	// Exercise every family shape, then validate the whole Default
+	// registry (this test binary's families plus the package-level ones
+	// other tests registered) against the exposition format.
+	NewCounter("obstest_prom_total", "prom test counter").Inc()
+	NewCounterVec("obstest_prom_labelled_total", "labelled", "stage").With("clustering").Inc()
+	NewHistogramVec("obstest_prom_seconds", "labelled histogram", TimeBuckets, "stage").
+		With("lower").Observe(0.2)
+	RegisterGauge("obstest_prom_gauge", "gauge", func() float64 { return 2.5 })
+
+	var a, b strings.Builder
+	if err := Default.WriteProm(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := obstest.ValidateExposition(a.String()); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, a.String())
+	}
+	// No metric activity between two writes: output must be
+	// byte-identical (sorted families, sorted label sets).
+	if err := Default.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("WriteProm output not stable across consecutive calls")
+	}
+	for _, want := range []string{
+		"# TYPE obstest_prom_total counter",
+		`obstest_prom_labelled_total{stage="clustering"} 1`,
+		`obstest_prom_seconds_bucket{stage="lower",le="0.25"} 1`,
+		`obstest_prom_seconds_count{stage="lower"} 1`,
+		"obstest_prom_gauge 2.5",
+	} {
+		if !strings.Contains(a.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, a.String())
+		}
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	c := NewCounter("obstest_conc_total", "concurrency test")
+	h := NewHistogram("obstest_conc_hist", "concurrency histogram", []float64{1, 2})
+	vec := NewCounterVec("obstest_conc_vec_total", "concurrency vec", "g")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			child := vec.With("x")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				child.Inc()
+				h.Observe(float64(i % 3))
+				if i%100 == 0 {
+					var sb strings.Builder
+					_ = Default.WriteProm(&sb) // concurrent exposition
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Value() != 8000 || vec.With("x").Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("lost updates: %d %d %d", c.Value(), vec.With("x").Value(), h.Count())
+	}
+}

@@ -1,0 +1,187 @@
+// Package obstest validates Prometheus text exposition output in
+// tests. internal/obs's own suite and the service-layer /metricsz
+// golden test share it, so the format contract is checked once, the
+// same way, at both layers.
+package obstest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var (
+	helpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .*$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (NaN|[+-]?Inf|[-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)$`)
+	labelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$`)
+)
+
+// ValidateExposition checks body against Prometheus text exposition
+// format 0.0.4 plus the repository's own conventions: every sample
+// belongs to a family announced by # HELP and # TYPE lines, label
+// pairs are well-formed, counter samples are finite and non-negative,
+// and histogram bucket series are cumulative with the +Inf bucket
+// equal to the _count sample. It returns nil when the body is valid.
+func ValidateExposition(body string) error {
+	typed := map[string]string{} // family -> type
+	type histState struct {
+		lastCum  float64 // previous bucket's cumulative count per label set
+		inf      float64
+		sawInf   bool
+		count    float64
+		sawCount bool
+	}
+	hists := map[string]*histState{} // family + label set (le stripped)
+
+	for lineNo, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		at := func(format string, args ...any) error {
+			return fmt.Errorf("line %d %q: %s", lineNo+1, line, fmt.Sprintf(format, args...))
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			if !helpRe.MatchString(line) {
+				return at("malformed HELP line")
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			m := typeRe.FindStringSubmatch(line)
+			if m == nil {
+				return at("malformed TYPE line")
+			}
+			if _, dup := typed[m[1]]; dup {
+				return at("family %s typed twice", m[1])
+			}
+			typed[m[1]] = m[2]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return at("malformed sample line")
+		}
+		name, labels := m[1], m[2]
+		value, err := strconv.ParseFloat(strings.TrimPrefix(m[3], "+"), 64)
+		if err != nil && !strings.Contains(m[3], "Inf") && m[3] != "NaN" {
+			return at("bad value: %v", err)
+		}
+		le, rest, lerr := splitLE(labels)
+		if lerr != nil {
+			return at("%v", lerr)
+		}
+
+		// Resolve the family: histogram samples append _bucket/_sum/_count.
+		fam, kind := name, ""
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && typed[base] == "histogram" {
+				fam, kind = base, suffix
+				break
+			}
+		}
+		typ, ok := typed[fam]
+		if !ok {
+			return at("sample for %s has no preceding # TYPE", name)
+		}
+
+		switch typ {
+		case "counter":
+			if value < 0 {
+				return at("counter %s is negative", name)
+			}
+		case "histogram":
+			key := fam + rest
+			h := hists[key]
+			if h == nil {
+				h = &histState{}
+				hists[key] = h
+			}
+			switch kind {
+			case "_bucket":
+				if value < h.lastCum {
+					return at("bucket series for %s not cumulative (%g after %g)", key, value, h.lastCum)
+				}
+				h.lastCum = value
+				if le == "+Inf" {
+					h.inf, h.sawInf = value, true
+				}
+			case "_count":
+				h.count, h.sawCount = value, true
+			case "_sum":
+				// any finite value is legal
+			default:
+				return at("histogram %s has a bare sample", fam)
+			}
+		}
+	}
+	if len(typed) == 0 {
+		return fmt.Errorf("no metric families in body")
+	}
+	for key, h := range hists {
+		if !h.sawInf || !h.sawCount {
+			return fmt.Errorf("histogram %s missing +Inf bucket or _count", key)
+		}
+		if h.inf != h.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %g != count %g", key, h.inf, h.count)
+		}
+	}
+	return nil
+}
+
+// splitLE pulls the le label out of a {..} label string, returning its
+// value and the remaining label set (normalised, order preserved).
+func splitLE(labels string) (le, rest string, err error) {
+	if labels == "" {
+		return "", "", nil
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	if inner == "" {
+		return "", "", nil
+	}
+	var kept []string
+	for _, pair := range splitPairs(inner) {
+		if !labelRe.MatchString(pair) {
+			return "", "", fmt.Errorf("malformed label pair %q", pair)
+		}
+		if v, ok := strings.CutPrefix(pair, "le="); ok {
+			le, err = strconv.Unquote(v)
+			if err != nil {
+				return "", "", fmt.Errorf("bad le value %q", v)
+			}
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	if len(kept) > 0 {
+		rest = "{" + strings.Join(kept, ",") + "}"
+	}
+	return le, rest, nil
+}
+
+// splitPairs splits k="v",k="v" on commas outside quotes.
+func splitPairs(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// spanBlock is the slab granularity: spans are handed out from blocks
+// of this many, so a trace with hundreds of solver spans costs a
+// handful of allocations instead of one per span.
+const spanBlock = 64
+
+// Trace is one request's span tree. Create it with NewTrace, thread
+// its root through the work via WithSpan/StartSpan, and dump it with
+// JSON once the request is done. All span mutation is guarded by the
+// trace's mutex, so spans may be created and ended from concurrent
+// goroutines (e.g. a worker-pool fan-out).
+type Trace struct {
+	mu    sync.Mutex
+	name  string
+	begin time.Time // wall-clock anchor; spans store monotonic offsets
+	root  *Span
+	slab  []Span // current allocation block
+	used  int    // spans handed out of slab
+}
+
+// Span is one timed operation inside a Trace: a pipeline stage, a
+// solve attempt, a ladder rung. All methods are safe on a nil
+// receiver and do nothing, which is the no-op recorder: code
+// instruments unconditionally and pays nothing when tracing is off.
+type Span struct {
+	tr       *Trace
+	name     string
+	startNS  int64 // monotonic offset from Trace.begin
+	endNS    int64 // 0 while the span is open
+	children []*Span
+	attrs    []Attr
+}
+
+// Attr is one span annotation. Values are written via Span.Set (last
+// write wins) or accumulated via Span.Add (int64 counters).
+type Attr struct {
+	Key string
+	Val any
+}
+
+// NewTrace starts a new trace whose root span carries the given name
+// (typically the request identity: kernel, job id, table name).
+func NewTrace(name string) *Trace {
+	t := &Trace{name: name, begin: time.Now()}
+	t.root = t.newSpan(name)
+	return t
+}
+
+// Root returns the trace's root span.
+func (t *Trace) Root() *Span { return t.root }
+
+// Name returns the name the trace was created with.
+func (t *Trace) Name() string { return t.name }
+
+// newSpan hands out a started span from the slab. Caller must not hold
+// t.mu.
+func (t *Trace) newSpan(name string) *Span {
+	now := time.Since(t.begin).Nanoseconds()
+	t.mu.Lock()
+	if t.used == len(t.slab) {
+		t.slab = make([]Span, spanBlock)
+		t.used = 0
+	}
+	s := &t.slab[t.used]
+	t.used++
+	s.tr = t
+	s.name = name
+	s.startNS = now
+	t.mu.Unlock()
+	return s
+}
+
+// Child starts a sub-span. Safe for concurrent use; nil-safe (returns
+// nil when the receiver is nil, so the no-op propagates).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.tr.newSpan(name)
+	s.tr.mu.Lock()
+	s.children = append(s.children, c)
+	s.tr.mu.Unlock()
+	return c
+}
+
+// End closes the span. Ending an already-ended span keeps the first
+// end time; a span never ended reads as still open (its dump duration
+// runs to the dump instant). Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Since(s.tr.begin).Nanoseconds()
+	s.tr.mu.Lock()
+	if s.endNS == 0 {
+		s.endNS = now
+	}
+	s.tr.mu.Unlock()
+}
+
+// Set writes attribute key to val, replacing an existing value.
+// Nil-safe.
+func (s *Span) Set(key string, val any) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Val = val
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Val: val})
+}
+
+// Add accumulates delta into the int64 counter attribute key (created
+// at zero). Solver hot paths batch locally and Add once per attempt.
+// Nil-safe.
+func (s *Span) Add(key string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			if v, ok := s.attrs[i].Val.(int64); ok {
+				s.attrs[i].Val = v + delta
+			}
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Val: delta})
+}
+
+// Trace returns the owning trace (nil for the nil span).
+func (s *Span) Trace() *Trace {
+	if s == nil {
+		return nil
+	}
+	return s.tr
+}
+
+// SpanDump is the JSON form of one span. Offsets and durations are
+// nanoseconds relative to the trace beginning, so child intervals nest
+// inside their parent's and stage durations can be summed against the
+// reported wall time.
+type SpanDump struct {
+	Name     string         `json:"name"`
+	StartNS  int64          `json:"startNS"`
+	DurNS    int64          `json:"durNS"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []*SpanDump    `json:"children,omitempty"`
+}
+
+// TraceDump is the JSON form of a whole trace.
+type TraceDump struct {
+	Name  string    `json:"name"`
+	Begin time.Time `json:"begin"`
+	DurNS int64     `json:"durNS"`
+	Root  *SpanDump `json:"root"`
+}
+
+// Dump snapshots the trace into its serializable form. Spans still
+// open are reported with a duration running to the dump instant, so a
+// live trace (a job still executing) dumps consistently.
+func (t *Trace) Dump() *TraceDump {
+	now := time.Since(t.begin).Nanoseconds()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	root := dumpSpan(t.root, now)
+	return &TraceDump{Name: t.name, Begin: t.begin, DurNS: root.DurNS, Root: root}
+}
+
+// JSON renders the trace as indented JSON (the -trace-out file format
+// and the /v1/trace/{id} response body).
+func (t *Trace) JSON() ([]byte, error) {
+	return json.MarshalIndent(t.Dump(), "", "  ")
+}
+
+// dumpSpan converts a span subtree; caller holds the trace mutex.
+func dumpSpan(s *Span, now int64) *SpanDump {
+	d := &SpanDump{Name: s.name, StartNS: s.startNS}
+	end := s.endNS
+	if end == 0 {
+		end = now
+	}
+	d.DurNS = end - s.startNS
+	if len(s.attrs) > 0 {
+		d.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			d.Attrs[a.Key] = a.Val
+		}
+	}
+	for _, c := range s.children {
+		d.Children = append(d.Children, dumpSpan(c, now))
+	}
+	return d
+}

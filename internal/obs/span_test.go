@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestNilSpanIsNoop(t *testing.T) {
+	var s *Span
+	// Every method must be callable on the nil recorder.
+	if c := s.Child("x"); c != nil {
+		t.Fatal("nil span produced a real child")
+	}
+	s.End()
+	s.Set("k", 1)
+	s.Add("k", 1)
+	if s.Trace() != nil {
+		t.Fatal("nil span claims a trace")
+	}
+
+	ctx := context.Background()
+	if got := WithSpan(ctx, nil); got != ctx {
+		t.Fatal("WithSpan(nil) must return the context unchanged")
+	}
+	ctx2, sp := StartSpan(ctx, "stage")
+	if sp != nil || ctx2 != ctx {
+		t.Fatal("StartSpan on a span-less context must be a no-op")
+	}
+	if FromContext(ctx) != nil || TraceFrom(ctx) != nil {
+		t.Fatal("span-less context must read as nil")
+	}
+}
+
+func TestSpanTreeStructureAndAttrs(t *testing.T) {
+	tr := NewTrace("req")
+	if tr.Name() != "req" || tr.Root() == nil {
+		t.Fatal("trace identity broken")
+	}
+	ctx := WithSpan(context.Background(), tr.Root())
+	if TraceFrom(ctx) != tr {
+		t.Fatal("TraceFrom lost the trace")
+	}
+
+	ctx, a := StartSpan(ctx, "clustering")
+	a.Set("maxK", 5)
+	a.Set("maxK", 7) // last write wins
+	a.End()
+	_, b := StartSpan(ctx, "lower")
+	b.Add("iters", 3)
+	b.Add("iters", 4) // accumulates
+	b.End()
+	tr.Root().End()
+
+	d := tr.Dump()
+	if d.Name != "req" || d.Root.Name != "req" {
+		t.Fatalf("dump name %q/%q", d.Name, d.Root.Name)
+	}
+	if len(d.Root.Children) != 1 {
+		t.Fatalf("root has %d children, want 1 (lower nests under clustering's ctx)", len(d.Root.Children))
+	}
+	cl := d.Root.Children[0]
+	if cl.Name != "clustering" || cl.Attrs["maxK"] != 7 {
+		t.Fatalf("clustering span wrong: %+v", cl)
+	}
+	if len(cl.Children) != 1 || cl.Children[0].Name != "lower" {
+		t.Fatalf("lower span misplaced: %+v", cl.Children)
+	}
+	if got := cl.Children[0].Attrs["iters"]; got != int64(7) {
+		t.Fatalf("Add accumulated %v, want 7", got)
+	}
+}
+
+func TestEndIsIdempotentAndLiveDumpRuns(t *testing.T) {
+	tr := NewTrace("live")
+	sp := tr.Root().Child("open")
+
+	d := tr.Dump() // nothing ended: every duration runs to the dump instant
+	if d.Root.DurNS < 0 || d.Root.Children[0].DurNS < 0 {
+		t.Fatal("live dump produced negative durations")
+	}
+
+	sp.End()
+	first := tr.Dump().Root.Children[0].DurNS
+	sp.End() // second End must not move the end time
+	if again := tr.Dump().Root.Children[0].DurNS; again != first {
+		t.Fatalf("re-End moved duration %d -> %d", first, again)
+	}
+}
+
+func TestSlabSurvivesManySpans(t *testing.T) {
+	// More spans than one slab block: names and order must survive the
+	// reallocation.
+	tr := NewTrace("slab")
+	const n = spanBlock*3 + 7
+	for i := 0; i < n; i++ {
+		tr.Root().Child(fmt.Sprintf("s%d", i)).End()
+	}
+	tr.Root().End()
+	kids := tr.Dump().Root.Children
+	if len(kids) != n {
+		t.Fatalf("%d children, want %d", len(kids), n)
+	}
+	for i, k := range kids {
+		if k.Name != fmt.Sprintf("s%d", i) {
+			t.Fatalf("child %d is %q", i, k.Name)
+		}
+	}
+}
+
+func TestTraceJSONRoundTrips(t *testing.T) {
+	tr := NewTrace("json")
+	tr.Root().Child("stage").End()
+	tr.Root().End()
+	data, err := tr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d TraceDump
+	if err := json.Unmarshal(data, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "json" || d.Root == nil || len(d.Root.Children) != 1 {
+		t.Fatalf("round trip lost structure: %+v", d)
+	}
+}
+
+// checkWellFormed asserts the structural span invariants recursively:
+// non-negative durations and children contained in their parent's
+// interval.
+func checkWellFormed(t *testing.T, parent *SpanDump) {
+	t.Helper()
+	if parent.DurNS < 0 {
+		t.Fatalf("span %s has negative duration %d", parent.Name, parent.DurNS)
+	}
+	for _, c := range parent.Children {
+		if c.StartNS < parent.StartNS {
+			t.Fatalf("span %s starts at %d before parent %s at %d", c.Name, c.StartNS, parent.Name, parent.StartNS)
+		}
+		if c.StartNS+c.DurNS > parent.StartNS+parent.DurNS {
+			t.Fatalf("span %s ends after parent %s", c.Name, parent.Name)
+		}
+		checkWellFormed(t, c)
+	}
+}
+
+func TestConcurrentSpansAreWellFormed(t *testing.T) {
+	// 16 goroutines hammer one trace — child creation, attributes, and
+	// live dumps interleaved — the shape the cluster-map candidate
+	// fan-out produces. Run under -race (make check does).
+	tr := NewTrace("conc")
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sp := tr.Root().Child(fmt.Sprintf("worker%d", g))
+			for i := 0; i < 50; i++ {
+				c := sp.Child("attempt")
+				c.Set("i", i)
+				c.Add("effort", int64(i))
+				c.End()
+				if i%10 == 0 {
+					_ = tr.Dump() // live dump while others mutate
+				}
+			}
+			sp.End()
+		}(g)
+	}
+	wg.Wait()
+	tr.Root().End()
+
+	root := tr.Dump().Root
+	if len(root.Children) != 16 {
+		t.Fatalf("%d workers recorded, want 16", len(root.Children))
+	}
+	for _, w := range root.Children {
+		if len(w.Children) != 50 {
+			t.Fatalf("worker %s recorded %d attempts, want 50", w.Name, len(w.Children))
+		}
+	}
+	checkWellFormed(t, root)
+}

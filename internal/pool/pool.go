@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"panorama/internal/failure"
+	"panorama/internal/obs"
 )
 
 // Stats describes one pool run, so callers can surface observed
@@ -79,6 +80,12 @@ func Run(ctx context.Context, workers, n int, fn func(i int) error) (Stats, erro
 	}
 	workers = Clamp(workers, n)
 	stats.Workers = workers
+	if sp := obs.FromContext(ctx); sp != nil {
+		defer func() {
+			sp.Add("pool.tasks", int64(stats.Tasks))
+			sp.Add("pool.busyNS", int64(stats.Busy))
+		}()
+	}
 	start := time.Now()
 
 	if workers == 1 {

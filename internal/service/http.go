@@ -110,14 +110,20 @@ func failureStatus(err error) int {
 //	                    wait=true blocks for the outcome)
 //	GET  /v1/jobs/{id}  job status/result; ?wait=1 blocks until done
 //	GET  /v1/result/{fp} cached result by fingerprint
+//	GET  /v1/trace/{id} the job's span tree (JSON; live snapshot while
+//	                    the job runs, 404 before it starts)
 //	GET  /healthz       liveness ("ok", or "draining" during shutdown)
-//	GET  /statsz        cache/queue/failure counters (JSON)
+//	GET  /metricsz      service + pipeline metrics (Prometheus text)
+//	GET  /statsz        cache/queue/failure counters (JSON; deprecated
+//	                    alias of /metricsz, kept for old scrapers)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/map", s.handleMap)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/result/{fp}", s.handleResult)
+	mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metricsz", s.handleMetrics)
 	mux.HandleFunc("GET /statsz", s.handleStats)
 	return mux
 }
@@ -239,6 +245,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "not-found", fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	tr := job.Trace()
+	if tr == nil {
+		httpError(w, http.StatusNotFound, "not-found", fmt.Errorf("job %q has no trace yet", job.ID))
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.Dump())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.WriteMetrics(w)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,68 @@
+package service
+
+import (
+	"fmt"
+	"io"
+
+	"panorama/internal/obs"
+)
+
+// WriteMetrics renders the server's own counters and gauges as
+// Prometheus text (exposition format 0.0.4) and appends the
+// process-wide pipeline metrics from obs.Default. It is the body of
+// GET /metricsz and of the final snapshot panoramad logs on shutdown.
+//
+// The server-level families are derived from the same Stats() snapshot
+// /statsz serves, so the two endpoints can never disagree; they are
+// written here rather than registered on obs.Default because a process
+// may host several servers (tests do) and gauges must read this
+// server's state.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	st := s.Stats()
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	counter := func(name, help string, v int64) {
+		p("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		p("# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	gauge("panorama_service_cache_entries", "Entries in the result cache.", float64(st.CacheEntries))
+	counter("panorama_service_cache_hits_total", "Submissions served straight from the result cache.", st.CacheHits)
+	counter("panorama_service_cache_misses_total", "Submissions that required a computation.", st.CacheMisses)
+	counter("panorama_service_coalesced_total", "Submissions attached to an identical in-flight job.", st.Coalesced)
+	counter("panorama_service_completed_total", "Executions that returned a clean summary.", st.Completed)
+	gauge("panorama_service_draining", "1 while the server is draining for shutdown, else 0.", b2f(st.Draining))
+	counter("panorama_service_executed_total", "Pipeline executions started.", st.Executed)
+	p("# HELP panorama_service_failed_total Executions that returned an error, by failure class.\n" +
+		"# TYPE panorama_service_failed_total counter\n")
+	p("panorama_service_failed_total{class=\"budget\"} %d\n", st.FailedBudget)
+	p("panorama_service_failed_total{class=\"cancelled\"} %d\n", st.FailedCancel)
+	p("panorama_service_failed_total{class=\"infeasible\"} %d\n", st.FailedInfeasib)
+	p("panorama_service_failed_total{class=\"other\"} %d\n", st.FailedOther)
+	gauge("panorama_service_queue_depth", "Jobs waiting behind the running ones.", float64(st.QueueDepth))
+	counter("panorama_service_rejected_total", "Submissions rejected by admission control (429).", st.Rejected)
+	gauge("panorama_service_running_jobs", "Jobs currently executing.", float64(st.RunningJobs))
+	p("# HELP panorama_service_stage_seconds_total Cumulative per-stage wall time of executed jobs.\n" +
+		"# TYPE panorama_service_stage_seconds_total counter\n")
+	p("panorama_service_stage_seconds_total{stage=\"clustering\"} %g\n", st.ClusteringMS/1000)
+	p("panorama_service_stage_seconds_total{stage=\"clustermap\"} %g\n", st.ClusterMapMS/1000)
+	p("panorama_service_stage_seconds_total{stage=\"lower\"} %g\n", st.LowerMS/1000)
+	counter("panorama_service_submitted_total", "Accepted submissions (cache hit, coalesced or enqueued).", st.Submitted)
+	if err != nil {
+		return err
+	}
+	return obs.Default.WriteProm(w)
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

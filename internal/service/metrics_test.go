@@ -1,0 +1,319 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"panorama/internal/core"
+	"panorama/internal/obs"
+	"panorama/internal/obs/obstest"
+)
+
+// metricszFamilies is the golden list of service-level metric names:
+// renaming or dropping any of these breaks deployed scrape configs and
+// dashboards, so a change here must be deliberate.
+var metricszFamilies = []string{
+	"panorama_service_cache_entries",
+	"panorama_service_cache_hits_total",
+	"panorama_service_cache_misses_total",
+	"panorama_service_coalesced_total",
+	"panorama_service_completed_total",
+	"panorama_service_draining",
+	"panorama_service_executed_total",
+	"panorama_service_failed_total",
+	"panorama_service_queue_depth",
+	"panorama_service_rejected_total",
+	"panorama_service_running_jobs",
+	"panorama_service_stage_seconds_total",
+	"panorama_service_submitted_total",
+}
+
+func getMetricsz(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metricsz status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("/metricsz Content-Type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// The /metricsz golden test: every service family present, in sorted
+// order, the whole body valid Prometheus exposition text, and the
+// values agreeing with the /statsz snapshot.
+func TestMetricszGolden(t *testing.T) {
+	run := func(ctx context.Context, job *Job) (core.Summary, error) {
+		return core.Summary{
+			Kernel:  "stub",
+			Success: true,
+			Stages: []core.StageRecord{
+				{Stage: "clustering", Wall: 40 * time.Millisecond},
+				{Stage: "lower", Wall: 160 * time.Millisecond},
+			},
+		}, nil
+	}
+	srv, err := New(Options{Workers: 1, QueueSize: 4, Run: run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, view := postMap(t, ts.URL, `{"kernel":"fir","scale":0.25,"arch":"8x8","mapper":"pan-spr","seed":1,"wait":true}`)
+	if code != http.StatusOK || view.Result == nil {
+		t.Fatalf("stub job: status %d view %+v", code, view)
+	}
+
+	body := getMetricsz(t, ts.URL)
+	if err := obstest.ValidateExposition(body); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	last := -1
+	for _, fam := range metricszFamilies {
+		idx := strings.Index(body, "# TYPE "+fam+" ")
+		if idx < 0 {
+			t.Fatalf("family %s missing from /metricsz:\n%s", fam, body)
+		}
+		if idx < last {
+			t.Fatalf("family %s out of sorted order", fam)
+		}
+		last = idx
+	}
+	for _, want := range []string{
+		"panorama_service_submitted_total 1",
+		"panorama_service_executed_total 1",
+		"panorama_service_completed_total 1",
+		`panorama_service_failed_total{class="budget"} 0`,
+		`panorama_service_stage_seconds_total{stage="clustering"} 0.04`,
+		`panorama_service_stage_seconds_total{stage="lower"} 0.16`,
+		"panorama_service_draining 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metricsz missing %q:\n%s", want, body)
+		}
+	}
+	// The deprecated JSON alias must agree with the exposition.
+	st := getStats(t, ts.URL)
+	if st.Submitted != 1 || st.Completed != 1 {
+		t.Fatalf("/statsz disagrees with /metricsz: %+v", st)
+	}
+}
+
+// checkDumpWellFormed asserts the structural span invariants on a wire
+// dump: non-negative durations, children inside their parent.
+func checkDumpWellFormed(t *testing.T, parent *obs.SpanDump) {
+	t.Helper()
+	if parent.DurNS < 0 {
+		t.Fatalf("span %s has negative duration", parent.Name)
+	}
+	for _, c := range parent.Children {
+		if c.StartNS < parent.StartNS || c.StartNS+c.DurNS > parent.StartNS+parent.DurNS {
+			t.Fatalf("span %s escapes parent %s", c.Name, parent.Name)
+		}
+		checkDumpWellFormed(t, c)
+	}
+}
+
+func getTrace(t *testing.T, url, id string) (*obs.TraceDump, int) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/trace/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode
+	}
+	var d obs.TraceDump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	return &d, resp.StatusCode
+}
+
+// Every job records a trace; /v1/trace/{id} serves it, rooted at the
+// job id, with the pipeline's stage spans beneath.
+func TestTraceEndpoint(t *testing.T) {
+	srv, err := New(Options{Workers: 1, QueueSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if _, code := getTrace(t, ts.URL, "job-999999"); code != http.StatusNotFound {
+		t.Fatalf("unknown job trace: status %d, want 404", code)
+	}
+
+	code, view := postMap(t, ts.URL, `{"kernel":"fir","scale":0.1,"arch":"8x8","mapper":"ultrafast","seed":1,"wait":true}`)
+	if code != http.StatusOK {
+		t.Fatalf("map: status %d %+v", code, view)
+	}
+	d, code := getTrace(t, ts.URL, view.ID)
+	if code != http.StatusOK {
+		t.Fatalf("trace: status %d", code)
+	}
+	if d.Name != view.ID || d.Root.Name != view.ID {
+		t.Fatalf("trace rooted at %q/%q, want job id %q", d.Name, d.Root.Name, view.ID)
+	}
+	var lower *obs.SpanDump
+	for _, c := range d.Root.Children {
+		if c.Name == "lower" {
+			lower = c
+		}
+	}
+	if lower == nil {
+		t.Fatalf("trace has no lower span: %+v", d.Root.Children)
+	}
+	checkDumpWellFormed(t, d.Root)
+}
+
+// The -race span-tree soak: 16 concurrent distinct requests through
+// the real pipeline, every resulting trace well-formed and rooted at
+// its own job.
+func TestConcurrentRequestTracesWellFormed(t *testing.T) {
+	srv, err := New(Options{Workers: 4, QueueSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ids := make([]string, 16)
+	var wg sync.WaitGroup
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"kernel":"fir","scale":0.1,"arch":"8x8","mapper":"ultrafast","seed":%d,"wait":true}`, i+1)
+			code, view := postMap(t, ts.URL, body)
+			if code != http.StatusOK {
+				t.Errorf("request %d: status %d", i, code)
+				return
+			}
+			ids[i] = view.ID
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	seen := map[string]bool{}
+	for i, id := range ids {
+		d, code := getTrace(t, ts.URL, id)
+		if code != http.StatusOK {
+			t.Fatalf("trace %d: status %d", i, code)
+		}
+		if seen[d.Name] {
+			t.Fatalf("duplicate trace root %q", d.Name)
+		}
+		seen[d.Name] = true
+		if d.Root.Name != id {
+			t.Fatalf("trace %d rooted at %q, want %q", i, d.Root.Name, id)
+		}
+		checkDumpWellFormed(t, d.Root)
+	}
+}
+
+// The drain regression: a server shutting down with a job in flight
+// must keep /metricsz serving (the daemon drains jobs before closing
+// its listener) and must count the draining job's completion, so the
+// final snapshot a scraper or the shutdown log sees is complete.
+func TestDrainFlushesFinalMetrics(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	run := func(ctx context.Context, job *Job) (core.Summary, error) {
+		close(started)
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return core.Summary{}, ctx.Err()
+		}
+		return core.Summary{
+			Kernel:  "slow",
+			Success: true,
+			Stages:  []core.StageRecord{{Stage: "lower", Wall: 50 * time.Millisecond}},
+		}, nil
+	}
+	srv, err := New(Options{Workers: 1, QueueSize: 4, Run: run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, _ := postMap(t, ts.URL, `{"kernel":"fir","scale":0.25,"arch":"8x8","mapper":"pan-spr","seed":1}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d, want 202", code)
+	}
+	<-started
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	// While the job drains, the metrics endpoint must still serve and
+	// report the drain in progress.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		body := getMetricsz(t, ts.URL)
+		if err := obstest.ValidateExposition(body); err != nil {
+			t.Fatalf("invalid exposition during drain: %v", err)
+		}
+		if strings.Contains(body, "panorama_service_draining 1") &&
+			strings.Contains(body, "panorama_service_running_jobs 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drain state never visible in /metricsz:\n%s", body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("drain failed: %v", err)
+	}
+
+	// The draining job's terminal counters are flushed: the final
+	// snapshot shows its completion and stage time.
+	var sb strings.Builder
+	if err := srv.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	final := sb.String()
+	for _, want := range []string{
+		"panorama_service_completed_total 1",
+		`panorama_service_stage_seconds_total{stage="lower"} 0.05`,
+		"panorama_service_running_jobs 0",
+		"panorama_service_draining 1",
+	} {
+		if !strings.Contains(final, want) {
+			t.Fatalf("final snapshot missing %q:\n%s", want, final)
+		}
+	}
+}

@@ -1,17 +1,3 @@
-// Package service turns the Panorama mapping pipeline into a
-// long-running mapping-as-a-service daemon: solver-based CGRA mapping
-// is an expensive, deterministic computation, so it is compiled once
-// and served many times.
-//
-// The server accepts mapping jobs (a named kernel or an inline DFG,
-// plus architecture and mapper configuration), runs them on a bounded
-// worker set under the PR-2 budget ladder, and serves results from a
-// content-addressed cache keyed by a canonical fingerprint of
-// (DFG, arch params, mapper+seed, budgets, code version). Concurrent
-// identical submissions coalesce onto one computation (singleflight),
-// a bounded queue applies admission control (ErrOverloaded → 429), and
-// Shutdown drains in-flight jobs within the caller's deadline. See
-// http.go for the endpoint surface and DESIGN.md "Service layer".
 package service
 
 import (
@@ -24,6 +10,7 @@ import (
 	"time"
 
 	"panorama/internal/core"
+	"panorama/internal/obs"
 	"panorama/internal/spr"
 	"panorama/internal/ultrafast"
 )
@@ -91,11 +78,21 @@ type Job struct {
 	status   JobStatus
 	summary  *core.Summary
 	err      error
+	trace    *obs.Trace
 	created  time.Time
 	started  time.Time
 	finished time.Time
 
 	done chan struct{} // closed when the job reaches done/failed
+}
+
+// Trace returns the observability trace of the job's pipeline run, or
+// nil before the job has started (it is live while the job runs —
+// obs.Trace.Dump snapshots open spans safely).
+func (j *Job) Trace() *obs.Trace {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
 }
 
 // Done returns a channel closed when the job finishes.
@@ -298,6 +295,13 @@ func (s *Server) runJob(job *Job) {
 // runPipeline is the default RunFunc: the real Panorama stack, mapper
 // selected by name exactly as in the CLIs.
 func (s *Server) runPipeline(ctx context.Context, job *Job) (core.Summary, error) {
+	tr := obs.NewTrace(job.ID)
+	job.mu.Lock()
+	job.trace = tr
+	job.mu.Unlock()
+	ctx = obs.WithSpan(ctx, tr.Root())
+	defer tr.Root().End()
+
 	req := job.req
 	cfg := core.Config{
 		Seed:           job.Seed,

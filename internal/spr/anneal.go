@@ -17,7 +17,10 @@ func (st *state) saRound(temp float64) int {
 		if v < 0 {
 			break
 		}
-		st.tryMove(v, temp)
+		st.saMoves++
+		if st.tryMove(v, temp) {
+			st.saAccepts++
+		}
 		steps++
 	}
 	return steps
@@ -89,8 +92,9 @@ func (st *state) affectedSignals(v int) []*signal {
 }
 
 // tryMove relocates v to a random feasible slot, reroutes the affected
-// signals, and accepts or reverts per the annealing criterion.
-func (st *state) tryMove(v int, temp float64) {
+// signals, and accepts or reverts per the annealing criterion. Reports
+// whether the move was accepted.
+func (st *state) tryMove(v int, temp float64) bool {
 	oldPE, oldT := st.placePE[v], st.placeT[v]
 	before := st.badness()
 
@@ -98,7 +102,7 @@ func (st *state) tryMove(v int, temp float64) {
 	pe, t, ok := st.bestCandidate(v, true)
 	if !ok {
 		st.place(v, oldPE, oldT)
-		return
+		return false
 	}
 	st.place(v, pe, t)
 
@@ -114,7 +118,7 @@ func (st *state) tryMove(v int, temp float64) {
 	after := st.badness()
 
 	if after <= before || st.rng.Float64() < math.Exp(-float64(after-before)/temp) {
-		return // accept
+		return true // accept
 	}
 	// Revert.
 	st.unplace(v)
@@ -123,6 +127,7 @@ func (st *state) tryMove(v int, temp float64) {
 	for i, sig := range affected {
 		st.restoreRoutes(sig, saved[i])
 	}
+	return false
 }
 
 // refreshSignalDeltas recomputes the slack of every sink of the given

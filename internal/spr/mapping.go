@@ -17,6 +17,7 @@ import (
 
 	"panorama/internal/arch"
 	"panorama/internal/dfg"
+	"panorama/internal/obs"
 	"panorama/internal/verify"
 )
 
@@ -87,6 +88,13 @@ type AttemptStats struct {
 	FinalOveruse int
 	SASteps      int
 	FailReason   string // why initial placement failed (when !Placed)
+
+	// Search effort spent inside the attempt (also published to the
+	// process metrics and the attempt's trace span).
+	PFIters   int // PathFinder negotiation iterations run
+	RipUps    int // sink routes ripped up for renegotiation
+	SAMoves   int // annealing moves attempted
+	SAAccepts int // annealing moves accepted
 }
 
 // Result is the outcome of Map.
@@ -171,7 +179,10 @@ func MapCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, opts Options) (*Res
 			res.Attempts = append(res.Attempts, att)
 			if st != nil && st.badness() == 0 {
 				m := st.extractMapping()
-				if err := Validate(d, a, m, opts.AllowedClusters); err != nil {
+				_, vspan := obs.StartSpan(ctx, "spr.validate")
+				err := Validate(d, a, m, opts.AllowedClusters)
+				vspan.End()
+				if err != nil {
 					return nil, fmt.Errorf("spr: internal error, invalid mapping at II=%d: %w", ii, err)
 				}
 				res.Success = true
@@ -195,16 +206,30 @@ func MapCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, opts Options) (*Res
 
 // attemptII runs one place/route/anneal attempt at a fixed II. The
 // returned state is nil when initial placement failed.
-func attemptII(ctx context.Context, d *dfg.Graph, a *arch.CGRA, ii, restart int, opts *Options) (AttemptStats, *state, error) {
+func attemptII(ctx context.Context, d *dfg.Graph, a *arch.CGRA, ii, restart int, opts *Options) (att AttemptStats, st *state, err error) {
+	mAttempts.Inc()
+	_, span := obs.StartSpan(ctx, "spr.attempt")
+	span.Set("ii", ii)
+	span.Set("restart", restart)
+	defer func() {
+		st.flush(span, &att)
+		span.Set("placed", att.Placed)
+		span.Set("overuse", att.FinalOveruse)
+		if att.FailReason != "" {
+			span.Set("failReason", att.FailReason)
+		}
+		span.End()
+	}()
+
 	seeded := *opts
 	seeded.Seed = opts.Seed + int64(restart)*7907
 	seeded.placementJitter = 0.4 * float64(restart)
-	st, err := newState(d, a, ii, &seeded)
+	st, err = newState(d, a, ii, &seeded)
 	if err != nil {
 		return AttemptStats{}, nil, err
 	}
 	st.ctx = ctx
-	att := AttemptStats{II: ii}
+	att = AttemptStats{II: ii}
 	if !st.initialPlacement() {
 		att.FailReason = st.failReason
 		return att, nil, nil

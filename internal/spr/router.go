@@ -123,6 +123,7 @@ func (st *state) ripupSink(sig *signal, i int) {
 	if route == nil {
 		return
 	}
+	st.ripups++
 	st.walkElapsed(route, func(n int32, elapsed int) {
 		if st.g.Kinds[n] == mrrg.KindFU {
 			return
@@ -366,6 +367,7 @@ func (st *state) pathFinderIterations(k int) {
 		if st.cancelled() {
 			return
 		}
+		st.pfIters++
 		st.presFac = math.Min(st.presFac*1.4, 64)
 		for n := range st.usage {
 			if int(st.usage[n]) > int(st.g.Cap[n]) {

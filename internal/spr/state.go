@@ -66,6 +66,14 @@ type state struct {
 
 	rng *rand.Rand
 
+	// Search-effort counters, accumulated locally inside the hot loops
+	// and flushed once per attempt (see obs.go) so instrumentation adds
+	// no atomics to routing or annealing inner loops.
+	pfIters   int // PathFinder negotiation iterations run
+	ripups    int // sink routes ripped up for renegotiation
+	saMoves   int // annealing moves attempted
+	saAccepts int // annealing moves accepted
+
 	fail       int    // DFG node that broke initial placement (-1 = none)
 	failReason string // human-readable diagnosis
 

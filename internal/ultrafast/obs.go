@@ -1,0 +1,12 @@
+package ultrafast
+
+import "panorama/internal/obs"
+
+// UltraFast* effort metrics. The mapper is a greedy first-fit pass, so
+// its effort unit is placements performed, not solver iterations.
+var (
+	mAttempts = obs.NewCounter("panorama_ultrafast_attempts_total",
+		"UltraFast* II attempts (one greedy first-fit pass at a fixed II).")
+	mPlacements = obs.NewCounter("panorama_ultrafast_placements_total",
+		"DFG nodes placed by UltraFast* across all attempts (partial attempts included).")
+)

@@ -24,6 +24,7 @@ import (
 
 	"panorama/internal/arch"
 	"panorama/internal/dfg"
+	"panorama/internal/obs"
 	"panorama/internal/verify"
 )
 
@@ -97,10 +98,21 @@ func MapCtx(ctx context.Context, d *dfg.Graph, a *arch.CGRA, opts Options) (*Res
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if m, ok := attempt(d, a, ii, &opts); ok {
+		mAttempts.Inc()
+		_, span := obs.StartSpan(ctx, "ultrafast.attempt")
+		span.Set("ii", ii)
+		m, placed, ok := attempt(d, a, ii, &opts)
+		mPlacements.Add(int64(placed))
+		span.Add("placements", int64(placed))
+		span.Set("ok", ok)
+		span.End()
+		if ok {
 			// Self-check against the shared legality oracle, exactly as
 			// SPR* does: a mapper bug must surface here, not in a caller.
-			if err := ValidateCap(d, a, m, opts.AllowedClusters, opts.CrossbarCap); err != nil {
+			_, vspan := obs.StartSpan(ctx, "ultrafast.validate")
+			err := ValidateCap(d, a, m, opts.AllowedClusters, opts.CrossbarCap)
+			vspan.End()
+			if err != nil {
 				return nil, fmt.Errorf("ultrafast: internal error, invalid mapping at II=%d: %w", ii, err)
 			}
 			res.Success = true
@@ -127,7 +139,10 @@ type ufState struct {
 	outIdx  [][]int
 }
 
-func attempt(d *dfg.Graph, a *arch.CGRA, ii int, opts *Options) (*Mapping, bool) {
+// attempt runs one greedy first-fit pass at a fixed II. It also
+// reports how many nodes were placed before success or failure, the
+// mapper's effort unit.
+func attempt(d *dfg.Graph, a *arch.CGRA, ii int, opts *Options) (*Mapping, int, bool) {
 	st := &ufState{d: d, a: a, ii: ii, opts: opts}
 	n := d.NumNodes()
 	st.placePE = make([]int, n)
@@ -141,12 +156,14 @@ func attempt(d *dfg.Graph, a *arch.CGRA, ii int, opts *Options) (*Mapping, bool)
 	st.buildCands()
 	st.buildEdgeIndex()
 
+	placed := 0
 	for _, v := range d.TopoOrder() {
 		if !st.placeGreedy(v) {
-			return nil, false
+			return nil, placed, false
 		}
+		placed++
 	}
-	return &Mapping{II: ii, PlacePE: append([]int(nil), st.placePE...), PlaceT: append([]int(nil), st.placeT...)}, true
+	return &Mapping{II: ii, PlacePE: append([]int(nil), st.placePE...), PlaceT: append([]int(nil), st.placeT...)}, placed, true
 }
 
 func (st *ufState) buildCands() {
