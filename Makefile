@@ -4,7 +4,7 @@ GO ?= go
 # nightly CI job raises it (see .github/workflows/ci.yml).
 FUZZTIME ?= 10s
 
-.PHONY: check build test vet race bench check-fault check-service check-diff check-obs docs fuzz
+.PHONY: check build test vet race bench bench-check bench-snapshot check-fault check-service check-diff check-obs docs fuzz
 
 # The repository's verification gate: formatting + godoc contract, vet,
 # build everything, then the full test suite with the race detector
@@ -48,6 +48,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzMapSPR -fuzztime $(FUZZTIME) ./internal/spr/
 	$(GO) test -run '^$$' -fuzz FuzzMapUltraFast -fuzztime $(FUZZTIME) ./internal/ultrafast/
 	$(GO) test -run '^$$' -fuzz FuzzFingerprint -fuzztime $(FUZZTIME) ./internal/dfg/
+	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME) ./internal/dfg/
 	$(GO) test -run '^$$' -fuzz FuzzServiceRequest -fuzztime $(FUZZTIME) ./internal/service/
 
 # The fault matrix: every failure site (eigensolve, k-means, ILP,
@@ -80,3 +81,17 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# One point of the committed performance trajectory: map the twelve
+# paper kernels with cmd/benchmap and diff against the committed
+# baseline with cmd/benchdiff. The machine-independent gates (effort
+# counters within 5%, byte-identical mappings) always run; the wall
+# gate stays off because the baseline was recorded on another machine.
+bench-check:
+	$(GO) run ./cmd/benchmap -out BENCH_ci.json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -new BENCH_ci.json
+
+# Re-record the committed baseline (run on an idle machine, then
+# commit BENCH_baseline.json together with the change that moved it).
+bench-snapshot:
+	$(GO) run ./cmd/benchmap -out BENCH_baseline.json

@@ -1,0 +1,68 @@
+// Command benchdiff compares two cmd/benchmap snapshots and fails
+// (exit 1) on regression, guarding the committed performance
+// trajectory in CI.
+//
+// Two classes of check run:
+//
+//   - Machine-independent (always on): the mapping of every kernel must
+//     be byte-identical (same II, same mapping hash) and the
+//     deterministic search-effort counters must not grow past
+//     -tolerance. These are exact functions of the workload, so a trip
+//     is a real algorithmic change, whatever hardware ran the snapshot.
+//
+//   - Same-machine (opt-in via -wall-tolerance > 0): wall time per
+//     kernel must not regress past the bound. Only meaningful when both
+//     snapshots come from the same machine; CI leaves it off because
+//     the committed baseline was recorded elsewhere.
+//
+//     go run ./cmd/benchdiff -baseline BENCH_baseline.json -new BENCH_ci.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"panorama/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	basePath := flag.String("baseline", "", "committed baseline snapshot (required)")
+	newPath := flag.String("new", "", "freshly measured snapshot (required)")
+	tol := flag.Float64("tolerance", 0.05, "allowed fractional growth of the deterministic effort counters")
+	wallTol := flag.Float64("wall-tolerance", 0, "allowed fractional wall-time growth; 0 disables the wall gate (cross-machine snapshots)")
+	flag.Parse()
+	if *basePath == "" || *newPath == "" {
+		log.Fatal("both -baseline and -new are required")
+	}
+
+	base, err := load(*basePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cur, err := load(*newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	diff := bench.DiffPerf(base, cur, *tol, *wallTol)
+	fmt.Print(diff.Render())
+	if len(diff.Violations) > 0 {
+		os.Exit(1)
+	}
+}
+
+func load(path string) (bench.PerfSnapshot, error) {
+	var s bench.PerfSnapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,70 @@
+// Command benchmap records one point of the repository's committed
+// performance trajectory: it maps the twelve paper kernels with
+// unguided SPR* on the quick-config 8x8 fabric and writes a
+// BENCH_*.json snapshot (wall time, deterministic search-effort
+// counters, and a mapping hash per kernel).
+//
+// Snapshots are compared with cmd/benchdiff: the effort counters and
+// mapping hashes are exact functions of the workload and comparable
+// across machines; wall times are only comparable between snapshots
+// taken on the same machine.
+//
+//	go run ./cmd/benchmap -out BENCH_ci.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime/pprof"
+	"time"
+
+	"panorama/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchmap: ")
+	out := flag.String("out", "", "output snapshot path (default BENCH_<date>.json)")
+	reps := flag.Int("reps", 3, "wall-time repetitions per kernel (fastest wins)")
+	seed := flag.Int64("seed", 1, "mapper seed (changes the workload identity)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("2006-01-02"))
+	}
+	snap, err := bench.RunPerf(*reps, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-15s %8s %6s %12s %14s\n", "Kernel", "nodes", "II", "wall", "relaxations")
+	for _, k := range snap.Kernels {
+		fmt.Printf("%-15s %8d %6d %12s %14d\n",
+			k.Kernel, k.Nodes, k.II, time.Duration(k.WallNS), k.Relax)
+	}
+	fmt.Printf("wrote %s (%d kernels, %d reps, seed %d)\n", path, len(snap.Kernels), snap.Reps, snap.Seed)
+}

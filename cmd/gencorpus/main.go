@@ -66,6 +66,18 @@ func main() {
 	} {
 		writeCorpus(dir, graphEntries)
 	}
+	// The codec fuzz target reads the input both as generator bytes and
+	// as a binary-codec payload, so its corpus seeds both prongs: the
+	// dfgen entries above plus each graph's canonical binary encoding.
+	codecEntries := append([][]byte(nil), graphEntries...)
+	for i, gp := range graphParams {
+		enc, err := dfgen.Generate(gp.seed, gp.p).MarshalBinary()
+		if err != nil {
+			log.Fatalf("binary-encoding corpus graph %d: %v", i, err)
+		}
+		codecEntries = append(codecEntries, enc)
+	}
+	writeCorpus("internal/dfg/testdata/fuzz/FuzzCodecRoundTrip", codecEntries)
 	reqEntries := make([][]byte, len(requests))
 	for i, r := range requests {
 		reqEntries[i] = []byte(r)

@@ -1,0 +1,219 @@
+package dfg_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"panorama/internal/dfg"
+	"panorama/internal/dfgen"
+	"panorama/internal/kernels"
+)
+
+// corpusGraphs spans the dfgen shapes the committed fuzz corpus uses
+// plus every paper kernel: chains, fan-out, recurrences, memory
+// pressure, and the real workloads the cache actually stores.
+func corpusGraphs(t *testing.T) []*dfg.Graph {
+	t.Helper()
+	params := []struct {
+		seed int64
+		p    dfgen.Params
+	}{
+		{1, dfgen.Params{Nodes: 4}},
+		{2, dfgen.Params{Nodes: 8, ExtraEdges: 3}},
+		{3, dfgen.Params{Nodes: 10, RecDensity: 0.4}},
+		{4, dfgen.Params{Nodes: 12, MemRatio: 0.3}},
+		{5, dfgen.Params{Nodes: 16, RecDensity: 0.25, MemRatio: 0.25, MaxFanout: 3}},
+		{6, dfgen.Params{Nodes: 20, ExtraEdges: 8, RecDensity: 0.15}},
+	}
+	var gs []*dfg.Graph
+	for _, gp := range params {
+		gs = append(gs, dfgen.Generate(gp.seed, gp.p))
+	}
+	for _, spec := range kernels.All() {
+		gs = append(gs, spec.Build(1.0))
+	}
+	return gs
+}
+
+// The binary codec must reproduce exactly the graph the JSON codec
+// reproduces — same structure, same fingerprint — for every corpus
+// graph. The fingerprint equality is what keeps cache keys stable
+// across the format change.
+func TestCodecRoundTripMatchesJSON(t *testing.T) {
+	for _, g := range corpusGraphs(t) {
+		bin, err := g.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: MarshalBinary: %v", g.Name, err)
+		}
+		var fromBin dfg.Graph
+		if err := fromBin.UnmarshalBinary(bin); err != nil {
+			t.Fatalf("%s: UnmarshalBinary: %v", g.Name, err)
+		}
+		js, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("%s: MarshalJSON: %v", g.Name, err)
+		}
+		var fromJSON dfg.Graph
+		if err := json.Unmarshal(js, &fromJSON); err != nil {
+			t.Fatalf("%s: UnmarshalJSON: %v", g.Name, err)
+		}
+		if fromBin.Name != fromJSON.Name ||
+			!reflect.DeepEqual(fromBin.Nodes, fromJSON.Nodes) ||
+			!reflect.DeepEqual(fromBin.Edges, fromJSON.Edges) {
+			t.Fatalf("%s: binary and JSON decode disagree", g.Name)
+		}
+		fromBin.MustFreeze()
+		if fromBin.Fingerprint() != g.Fingerprint() {
+			t.Fatalf("%s: binary round trip moved the fingerprint", g.Name)
+		}
+		// Re-encoding the decoded graph must be byte-stable (the
+		// encoding is canonical for graphs in stored form).
+		again, err := fromBin.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bin, again) {
+			t.Fatalf("%s: re-encoding is not byte-stable", g.Name)
+		}
+	}
+}
+
+// The whole point of the binary format: it must be materially smaller
+// than the JSON it replaces on real workloads.
+func TestCodecSmallerThanJSON(t *testing.T) {
+	var binTotal, jsonTotal int
+	for _, g := range corpusGraphs(t) {
+		bin, err := g.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.Marshal(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binTotal += len(bin)
+		jsonTotal += len(js)
+	}
+	if binTotal*4 > jsonTotal {
+		t.Fatalf("binary corpus %dB vs JSON %dB: expected at least 4x smaller", binTotal, jsonTotal)
+	}
+}
+
+func TestCodecRejectsTruncationAndGarbage(t *testing.T) {
+	g := dfgen.Generate(5, dfgen.Params{Nodes: 16, RecDensity: 0.25, MemRatio: 0.25, MaxFanout: 3})
+	data, err := g.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n++ {
+		var back dfg.Graph
+		if err := back.UnmarshalBinary(data[:n]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded without error", n, len(data))
+		}
+	}
+	var back dfg.Graph
+	if err := back.UnmarshalBinary(append(append([]byte{}, data...), 0)); err == nil {
+		t.Fatal("trailing byte decoded without error")
+	}
+	bad := append([]byte{}, data...)
+	bad[0] = 'Q'
+	if err := back.UnmarshalBinary(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	bad = append([]byte{}, data...)
+	bad[4] = 0x7f
+	if err := back.UnmarshalBinary(bad); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	// A huge claimed node count must be rejected before allocation.
+	huge := []byte("PDFG\x01\x00\xff\xff\xff\xff\xff\xff\xff\xff\x7f")
+	if err := back.UnmarshalBinary(huge); err == nil {
+		t.Fatal("absurd node count accepted")
+	}
+}
+
+// Decoded graphs must pass the same Validate contract as JSON decodes:
+// a structurally illegal payload (edge out of range) is rejected even
+// when the varint framing is intact.
+func TestCodecValidatesStructure(t *testing.T) {
+	g := dfg.New("bad")
+	g.AddNode(dfg.OpAdd, "")
+	g.AddNode(dfg.OpAdd, "")
+	g.AddEdge(0, 1)
+	data, err := g.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the edge section: count 1, From=5 (zigzag 10), To delta 0,
+	// Dist 0 — out of range for a 2-node graph.
+	data = data[:len(data)-4]
+	data = append(data, 1, 10, 0, 0)
+	var back dfg.Graph
+	if err := back.UnmarshalBinary(data); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+// FuzzCodecRoundTrip drives the binary codec from two directions.
+// Inputs that decode as dfgen generator bytes exercise
+// encode-then-decode on legal graphs (structure and fingerprint must
+// survive); inputs treated as raw codec payloads exercise the decoder
+// itself (never panic, and anything accepted must re-encode to a
+// stable canonical form with the same fingerprint). Corpus under
+// testdata/fuzz/FuzzCodecRoundTrip; regenerate with
+// `go run ./cmd/gencorpus`.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 4, 7, 0, 1, 0})
+	f.Add([]byte("PDFG\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if g, ok := dfgen.FromBytes(data); ok {
+			enc, err := g.MarshalBinary()
+			if err != nil {
+				t.Fatalf("a legal graph must encode: %v", err)
+			}
+			var back dfg.Graph
+			if err := back.UnmarshalBinary(enc); err != nil {
+				t.Fatalf("an encoded legal graph must decode: %v", err)
+			}
+			if back.Name != g.Name ||
+				!reflect.DeepEqual(back.Nodes, g.Nodes) ||
+				!reflect.DeepEqual(back.Edges, g.Edges) {
+				t.Fatal("binary round trip changed the graph")
+			}
+			back.MustFreeze()
+			if back.Fingerprint() != g.Fingerprint() {
+				t.Fatal("binary round trip moved the fingerprint")
+			}
+		}
+
+		var g dfg.Graph
+		if err := g.UnmarshalBinary(data); err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		// Whatever the decoder accepted must be a valid graph in
+		// canonical form from here on.
+		enc, err := g.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted graph failed to re-encode: %v", err)
+		}
+		var back dfg.Graph
+		if err := back.UnmarshalBinary(enc); err != nil {
+			t.Fatalf("canonical re-encoding failed to decode: %v", err)
+		}
+		again, err := back.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, again) {
+			t.Fatal("canonical encoding is not byte-stable")
+		}
+		g.MustFreeze()
+		back.MustFreeze()
+		if g.Fingerprint() != back.Fingerprint() {
+			t.Fatal("canonical round trip moved the fingerprint")
+		}
+	})
+}

@@ -421,6 +421,37 @@ func TestWriteDOT(t *testing.T) {
 	}
 }
 
+// Regression: node and graph names containing DOT metacharacters must
+// be escaped, not interpolated raw into the quoted label (a name with
+// a quote used to terminate the label string and produce invalid DOT).
+func TestWriteDOTEscapesNames(t *testing.T) {
+	g := New(`ker"nel`)
+	a := g.AddNode(OpAdd, `acc "x" \ y`)
+	b := g.AddNode(OpStore, "line1\nline2")
+	g.AddEdge(a, b)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`digraph "ker\"nel" {`,
+		`label="0: acc \"x\" \\ y\nadd"`,
+		`label="1: line1\nline2\nstore"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Every label attribute must close on the same line it opens: an
+	// unescaped quote or newline would split it across lines.
+	for _, line := range strings.Split(out, "\n") {
+		if n := strings.Count(line, `"`) - strings.Count(line, `\"`); n%2 != 0 {
+			t.Fatalf("unbalanced quotes in line %q", line)
+		}
+	}
+}
+
 // Property: for random DAGs, ASAP <= ALAP everywhere and the topo order
 // is consistent with every forward edge.
 func TestQuickScheduleBounds(t *testing.T) {

@@ -33,16 +33,23 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 	return g.Validate()
 }
 
+// dotEscaper rewrites the characters that terminate or escape a DOT
+// double-quoted string, so arbitrary node names cannot break out of
+// their label attribute.
+var dotEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`, "\r", ``)
+
 // WriteDOT writes the graph in Graphviz DOT format. Recurrence edges
-// are dashed and annotated with their distance.
+// are dashed and annotated with their distance. Node and graph names
+// are escaped, so names containing quotes, backslashes or newlines
+// produce valid DOT.
 func (g *Graph) WriteDOT(w io.Writer) error {
 	var b strings.Builder
-	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	fmt.Fprintf(&b, "digraph \"%s\" {\n", dotEscaper.Replace(g.Name))
 	b.WriteString("  node [shape=box, fontsize=10];\n")
 	for _, nd := range g.Nodes {
 		label := nd.Op.String()
 		if nd.Name != "" {
-			label = nd.Name + "\\n" + label
+			label = dotEscaper.Replace(nd.Name) + "\\n" + label
 		}
 		fmt.Fprintf(&b, "  n%d [label=\"%d: %s\"];\n", nd.ID, nd.ID, label)
 	}

@@ -60,11 +60,15 @@ func (k Kind) String() string {
 
 // Edge is a directed routing edge to node To. Adv is true when
 // traversal advances time by one cycle; Express marks inter-cluster
-// express-link wires (prioritised for inter-cluster DFG edges).
+// express-link wires (prioritised for inter-cluster DFG edges). ToFU
+// caches Kinds[To] == KindFU so the router's relaxation loop can
+// classify the edge without a second random memory access; it still
+// fits the struct in 8 bytes.
 type Edge struct {
 	To      int32
 	Adv     bool
 	Express bool
+	ToFU    bool
 }
 
 // link is a directed wire in the routing fabric: the architecture's
@@ -75,6 +79,11 @@ type link struct {
 }
 
 // Graph is an MRRG for one (architecture, II) pair.
+//
+// The adjacency is stored in compressed sparse row (CSR) form: one
+// preallocated edge slab indexed by per-node offsets, so the router's
+// inner loop walks contiguous memory instead of chasing per-node slice
+// headers. Use Succs to read a node's successor edges.
 type Graph struct {
 	Arch *arch.CGRA
 	II   int
@@ -86,13 +95,33 @@ type Graph struct {
 	RegOf    []int32 // register index (KindReg only, else -1)
 	Cap      []int16 // node capacity
 
-	Succ [][]Edge
+	succOff []int32 // CSR row offsets, len NumNodes+1
+	succ    []Edge  // CSR edge slab, len succOff[NumNodes]
 
 	blockSize int // uniform nodes per (pe, t) block
 	regs      int
 	links     []link
 	linkBase  int     // first link node id
 	outLinks  [][]int // per PE: indices into links
+}
+
+// Succs returns node n's successor edges as a slice of the shared CSR
+// slab. The returned slice must not be modified.
+func (g *Graph) Succs(n int32) []Edge { return g.succ[g.succOff[n]:g.succOff[n+1]] }
+
+// NumEdges returns the total number of routing edges.
+func (g *Graph) NumEdges() int { return len(g.succ) }
+
+// FindEdge returns the edge from -> to, if one exists. Successor lists
+// are short (bounded by the PE fan-out), so the scan is a handful of
+// contiguous comparisons.
+func (g *Graph) FindEdge(from, to int32) (Edge, bool) {
+	for _, e := range g.Succs(from) {
+		if e.To == to {
+			return e, true
+		}
+	}
+	return Edge{}, false
 }
 
 // Offsets of node kinds within a (pe, t) block.
@@ -142,7 +171,6 @@ func New(a *arch.CGRA, ii int) (*Graph, error) {
 	g.TimeOf = make([]int32, g.NumNodes)
 	g.RegOf = make([]int32, g.NumNodes)
 	g.Cap = make([]int16, g.NumNodes)
-	g.Succ = make([][]Edge, g.NumNodes)
 
 	for pe := 0; pe < a.NumPEs(); pe++ {
 		for t := 0; t < ii; t++ {
@@ -215,10 +243,30 @@ func (g *Graph) NumLinks() int { return len(g.links) }
 // LinkEnds returns the driving and receiving PE of wire li.
 func (g *Graph) LinkEnds(li int) (from, to int) { return g.links[li].from, g.links[li].to }
 
+// buildEdges fills the CSR adjacency in two passes over the same
+// deterministic edge generator: count per-node degrees, prefix-sum
+// them into row offsets, then fill the preallocated slab. Per-node
+// edge order matches the generator's emission order exactly.
 func (g *Graph) buildEdges() {
-	add := func(from, to int, adv, expr bool) {
-		g.Succ[from] = append(g.Succ[from], Edge{To: int32(to), Adv: adv, Express: expr})
+	g.succOff = make([]int32, g.NumNodes+1)
+	g.forEachEdge(func(from, to int, adv, expr bool) {
+		g.succOff[from+1]++
+	})
+	for n := 0; n < g.NumNodes; n++ {
+		g.succOff[n+1] += g.succOff[n]
 	}
+	g.succ = make([]Edge, g.succOff[g.NumNodes])
+	cursor := make([]int32, g.NumNodes)
+	copy(cursor, g.succOff[:g.NumNodes])
+	g.forEachEdge(func(from, to int, adv, expr bool) {
+		g.succ[cursor[from]] = Edge{To: int32(to), Adv: adv, Express: expr, ToFU: g.Kinds[to] == KindFU}
+		cursor[from]++
+	})
+}
+
+// forEachEdge emits every routing edge of the time-extended graph in a
+// fixed deterministic order (the order buildEdges stores them).
+func (g *Graph) forEachEdge(add func(from, to int, adv, expr bool)) {
 	ii := g.II
 	for pe := 0; pe < g.Arch.NumPEs(); pe++ {
 		for t := 0; t < ii; t++ {

@@ -118,7 +118,7 @@ func TestEdgeTimeSemantics(t *testing.T) {
 		t.Fatal(err)
 	}
 	for from := 0; from < g.NumNodes; from++ {
-		for _, e := range g.Succ[from] {
+		for _, e := range g.Succs(int32(from)) {
 			ft, tt := int(g.TimeOf[from]), int(g.TimeOf[e.To])
 			if e.Adv {
 				if (ft+1)%4 != tt {
@@ -142,7 +142,7 @@ func TestSingleHopInvariant(t *testing.T) {
 		if g.Kinds[from] != KindLink {
 			continue
 		}
-		for _, e := range g.Succ[from] {
+		for _, e := range g.Succs(int32(from)) {
 			if g.Kinds[e.To] == KindLink && !e.Adv {
 				t.Fatalf("same-cycle wire chain %s -> %s violates single-hop", g.Describe(from), g.Describe(int(e.To)))
 			}
@@ -158,7 +158,7 @@ func TestExpressEdgesTargetExpressWires(t *testing.T) {
 	}
 	found := 0
 	for from := 0; from < g.NumNodes; from++ {
-		for _, e := range g.Succ[from] {
+		for _, e := range g.Succs(int32(from)) {
 			if !e.Express {
 				continue
 			}
@@ -196,7 +196,7 @@ func TestConsumePathsExist(t *testing.T) {
 		t.Fatal(err)
 	}
 	hasEdge := func(from, to int) bool {
-		for _, e := range g.Succ[from] {
+		for _, e := range g.Succs(int32(from)) {
 			if int(e.To) == to {
 				return true
 			}
@@ -240,7 +240,7 @@ func TestRegisterFileRoundTrip(t *testing.T) {
 	}
 	pe := 5
 	hasEdge := func(from, to int) bool {
-		for _, e := range g.Succ[from] {
+		for _, e := range g.Succs(int32(from)) {
 			if int(e.To) == to {
 				return true
 			}
@@ -278,7 +278,7 @@ func TestBypassSelfLoops(t *testing.T) {
 			selfWire[f] = true
 			// The bypass must chain to itself next cycle.
 			found := false
-			for _, e := range g.Succ[g.LinkNode(li, 0)] {
+			for _, e := range g.Succs(int32(g.LinkNode(li, 0))) {
 				if int(e.To) == g.LinkNode(li, 1) && e.Adv {
 					found = true
 				}
@@ -314,5 +314,35 @@ func TestKindString(t *testing.T) {
 	}
 	if Kind(99).String() == "" {
 		t.Fatal("unknown kind empty")
+	}
+}
+
+// The CSR slab must be internally consistent: monotone row offsets
+// covering the whole slab, every stored edge reachable through both
+// Succs and FindEdge, and no edge dangling outside the node range.
+func TestCSRConsistency(t *testing.T) {
+	g, err := New(arch.Preset8x8(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for n := 0; n < g.NumNodes; n++ {
+		succs := g.Succs(int32(n))
+		total += len(succs)
+		for _, e := range succs {
+			if e.To < 0 || int(e.To) >= g.NumNodes {
+				t.Fatalf("node %d has edge to out-of-range node %d", n, e.To)
+			}
+			got, ok := g.FindEdge(int32(n), e.To)
+			if !ok || got != e {
+				t.Fatalf("FindEdge(%d, %d) = %+v, %v; want %+v", n, e.To, got, ok, e)
+			}
+		}
+	}
+	if total != g.NumEdges() {
+		t.Fatalf("sum of Succs lengths %d != NumEdges %d", total, g.NumEdges())
+	}
+	if _, ok := g.FindEdge(int32(g.FUNode(0, 0)), int32(g.FUNode(5, 1))); ok {
+		t.Fatal("FindEdge invented an FU->FU edge")
 	}
 }

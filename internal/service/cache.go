@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"panorama/internal/core"
 )
@@ -21,10 +22,14 @@ type Entry struct {
 }
 
 // Cache is a content-addressed result cache: an in-memory LRU over
-// mapping summaries, optionally persisted to a directory (one JSON
-// file per entry, written atomically via rename). Mapping results are
-// deterministic functions of their fingerprint, so entries never need
-// invalidation — only eviction.
+// mapping summaries, optionally persisted to a directory (one file per
+// entry, written atomically via rename). New entries are written in
+// the versioned binary codec as <fingerprint>.bin; directories
+// populated by older builds hold <fingerprint>.json, and load accepts
+// both formats side by side, so a cache directory survives the format
+// change without migration. Mapping results are deterministic
+// functions of their fingerprint, so entries never need invalidation —
+// only eviction.
 //
 // All methods are safe for concurrent use.
 type Cache struct {
@@ -113,9 +118,9 @@ func (c *Cache) Len() int {
 // persist writes the entry to dir atomically: a temp file in the same
 // directory, fsync-free (the cache is a cache), then rename. A crash
 // mid-write leaves either the old file or a stray *.tmp that load
-// skips.
+// skips (and eventually sweeps, see staleTmpAge).
 func (c *Cache) persist(dir string, e Entry) error {
-	data, err := json.Marshal(e)
+	data, err := e.MarshalBinary()
 	if err != nil {
 		return fmt.Errorf("service: encoding cache entry: %w", err)
 	}
@@ -132,16 +137,44 @@ func (c *Cache) persist(dir string, e Entry) error {
 		}
 		return fmt.Errorf("service: cache write: %w", werr)
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(dir, e.Fingerprint+".json")); err != nil {
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, e.Fingerprint+".bin")); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("service: cache write: %w", err)
 	}
 	return nil
 }
 
+// staleTmpAge is how old a stray *.tmp file must be before loadDir
+// removes it. A temp file only exists between CreateTemp and the
+// rename in persist, so anything this old is debris from a crashed
+// writer — but a fresh one may belong to a live writer in another
+// process sharing the directory, and is left alone.
+const staleTmpAge = time.Hour
+
+// decodeEntry decodes one persisted cache file by its extension:
+// ".bin" is the versioned binary codec, ".json" the pre-codec format
+// kept readable so existing cache directories survive upgrades.
+func decodeEntry(name string, data []byte) (Entry, bool) {
+	var e Entry
+	switch filepath.Ext(name) {
+	case ".bin":
+		if e.UnmarshalBinary(data) != nil {
+			return Entry{}, false
+		}
+	case ".json":
+		if json.Unmarshal(data, &e) != nil {
+			return Entry{}, false
+		}
+	default:
+		return Entry{}, false
+	}
+	return e, e.Fingerprint != ""
+}
+
 // loadDir fills the LRU from the persistence directory, newest first
 // so that when the directory holds more entries than the memory
-// capacity the most recently written ones survive.
+// capacity the most recently written ones survive. Stray *.tmp files
+// older than staleTmpAge (crashed writers) are removed on the way.
 func (c *Cache) loadDir() error {
 	des, err := os.ReadDir(c.dir)
 	if err != nil {
@@ -153,11 +186,21 @@ func (c *Cache) loadDir() error {
 	}
 	var cands []candidate
 	for _, de := range des {
-		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+		if de.IsDir() {
+			continue
+		}
+		ext := filepath.Ext(de.Name())
+		if ext != ".json" && ext != ".bin" && ext != ".tmp" {
 			continue
 		}
 		info, err := de.Info()
 		if err != nil {
+			continue
+		}
+		if ext == ".tmp" {
+			if time.Since(info.ModTime()) > staleTmpAge {
+				os.Remove(filepath.Join(c.dir, de.Name()))
+			}
 			continue
 		}
 		cands = append(cands, candidate{de.Name(), info.ModTime().UnixNano()})
@@ -166,18 +209,25 @@ func (c *Cache) loadDir() error {
 	if len(cands) > c.cap {
 		cands = cands[:c.cap]
 	}
-	// Insert oldest first so LRU order matches write order.
+	// Insert oldest first so LRU order matches write order. A
+	// fingerprint present in both formats (a directory written by two
+	// builds) keeps only the newer file's content.
 	for i := len(cands) - 1; i >= 0; i-- {
 		data, err := os.ReadFile(filepath.Join(c.dir, cands[i].name))
 		if err != nil {
 			continue
 		}
-		var e Entry
-		if err := json.Unmarshal(data, &e); err != nil || e.Fingerprint == "" {
+		e, ok := decodeEntry(cands[i].name, data)
+		if !ok {
 			continue // corrupt or foreign file: skip, don't fail startup
 		}
-		if strings.TrimSuffix(cands[i].name, ".json") != e.Fingerprint {
+		if strings.TrimSuffix(cands[i].name, filepath.Ext(cands[i].name)) != e.Fingerprint {
 			continue // renamed/foreign file: the address must match the content
+		}
+		if el, dup := c.entries[e.Fingerprint]; dup {
+			el.Value = &e
+			c.lru.MoveToFront(el)
+			continue
 		}
 		c.entries[e.Fingerprint] = c.lru.PushFront(&e)
 	}

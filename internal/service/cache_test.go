@@ -1,6 +1,7 @@
 package service
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -66,7 +67,7 @@ func TestCacheDiskPersistence(t *testing.T) {
 	}
 
 	// Atomic write: the entry file exists, no temp droppings remain.
-	if _, err := os.Stat(filepath.Join(dir, "deadbeef.json")); err != nil {
+	if _, err := os.Stat(filepath.Join(dir, "deadbeef.bin")); err != nil {
 		t.Fatalf("persisted file missing: %v", err)
 	}
 	des, err := os.ReadDir(dir)
@@ -102,13 +103,17 @@ func TestCacheLoadSkipsCorruptAndForeignFiles(t *testing.T) {
 	if err := c.Put(entry("good", 2)); err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt JSON, a file whose name disagrees with its content, and a
-	// non-JSON file must not break startup or leak entries.
+	// Corrupt files in both formats, a file whose name disagrees with
+	// its content, and a foreign file must not break startup or leak
+	// entries.
 	if err := os.WriteFile(filepath.Join(dir, "corrupt.json"), []byte("{nope"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	data, _ := os.ReadFile(filepath.Join(dir, "good.json"))
-	if err := os.WriteFile(filepath.Join(dir, "renamed.json"), data, 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, "corrupt.bin"), []byte("PCEN\x01truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "good.bin"))
+	if err := os.WriteFile(filepath.Join(dir, "renamed.bin"), data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not a cache entry"), 0o644); err != nil {
@@ -140,7 +145,7 @@ func TestCacheLoadKeepsNewestWithinCapacity(t *testing.T) {
 		}
 		// Separate the mtimes well beyond filesystem resolution.
 		mt := base.Add(time.Duration(i) * time.Minute)
-		if err := os.Chtimes(filepath.Join(dir, fp+".json"), mt, mt); err != nil {
+		if err := os.Chtimes(filepath.Join(dir, fp+".bin"), mt, mt); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -155,5 +160,107 @@ func TestCacheLoadKeepsNewestWithinCapacity(t *testing.T) {
 		if _, ok := c2.Get(fp); !ok {
 			t.Fatalf("%s missing: newest entries must survive a capped load", fp)
 		}
+	}
+}
+
+func TestCacheLoadsMixedFormats(t *testing.T) {
+	dir := t.TempDir()
+	// A directory written by an older build holds JSON entries; the
+	// current build adds binary ones. Both must load side by side.
+	jsonData, err := json.Marshal(entry("legacy", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "legacy.json"), jsonData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := c.Get("legacy"); !ok || e.Summary.II != 4 {
+		t.Fatalf("legacy JSON entry not loaded: ok=%v %+v", ok, e.Summary)
+	}
+	if err := c.Put(entry("modern", 5)); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fp, ii := range map[string]int{"legacy": 4, "modern": 5} {
+		e, ok := c2.Get(fp)
+		if !ok || e.Summary.II != ii {
+			t.Fatalf("%s: ok=%v II=%d, want II=%d", fp, ok, e.Summary.II, ii)
+		}
+	}
+	if c2.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c2.Len())
+	}
+}
+
+func TestCacheLoadPrefersNewerDuplicateFormat(t *testing.T) {
+	dir := t.TempDir()
+	// The same fingerprint in both formats (an upgraded service rewrote
+	// the entry): the newer file's content must win and the LRU must
+	// hold it once, not twice.
+	jsonData, err := json.Marshal(entry("dup", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "dup.json"), jsonData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-30 * time.Minute)
+	if err := os.Chtimes(filepath.Join(dir, "dup.json"), old, old); err != nil {
+		t.Fatal(err)
+	}
+	e := entry("dup", 9)
+	binData, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "dup.bin"), binData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c.Get("dup"); !ok || got.Summary.II != 9 {
+		t.Fatalf("newer duplicate lost: ok=%v II=%d, want 9", ok, got.Summary.II)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (duplicate fingerprint must collapse)", c.Len())
+	}
+}
+
+func TestCacheSweepsStaleTmpFiles(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "crashed.123.tmp")
+	if err := os.WriteFile(stale, []byte("partial write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh temp file may belong to a live writer in another process
+	// and must survive the sweep.
+	fresh := filepath.Join(dir, "inflight.456.tmp")
+	if err := os.WriteFile(fresh, []byte("partial write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := NewCache(8, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale tmp not swept: %v", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh tmp must be left alone: %v", err)
 	}
 }

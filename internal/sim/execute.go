@@ -91,19 +91,12 @@ func Execute(d *dfg.Graph, a *arch.CGRA, m *spr.Mapping, iters int) (*Trace, err
 		}
 		for i := 0; i+1 < len(route); i++ {
 			from, to := route[i], route[i+1]
-			var adv *bool
-			for j := range g.Succ[from] {
-				if g.Succ[from][j].To == to {
-					a := g.Succ[from][j].Adv
-					adv = &a
-					break
-				}
-			}
-			if adv == nil {
+			hop, ok := g.FindEdge(from, to)
+			if !ok {
 				return 0, fmt.Errorf("sim: route uses missing MRRG edge %s -> %s",
 					g.Describe(int(from)), g.Describe(int(to)))
 			}
-			if *adv {
+			if hop.Adv {
 				t++
 			}
 			if err := claim(to, t, v); err != nil {

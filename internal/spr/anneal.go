@@ -48,8 +48,9 @@ func (st *state) pickCongestedNode() int {
 			}
 		}
 		if !bad {
-			for k := range sig.occ {
-				n := int32(k >> 16)
+			width := int32(st.maxDelta + 1)
+			for _, c := range sig.claims {
+				n := c.state / width
 				if int(st.usage[n]) > int(st.g.Cap[n]) {
 					bad = true
 					break

@@ -63,14 +63,20 @@ func TestQuickPQueue(t *testing.T) {
 }
 
 func TestFirstRevisit(t *testing.T) {
-	if firstRevisit([]int32{1, 2, 3}) != -1 {
+	st := &state{visitStamp: make([]int32, 8)}
+	if st.firstRevisit([]int32{1, 2, 3}) != -1 {
 		t.Fatal("false positive")
 	}
-	if got := firstRevisit([]int32{1, 2, 1, 3}); got != 2 {
+	if got := st.firstRevisit([]int32{1, 2, 1, 3}); got != 2 {
 		t.Fatalf("firstRevisit = %d, want 2", got)
 	}
-	if firstRevisit(nil) != -1 {
+	if st.firstRevisit(nil) != -1 {
 		t.Fatal("nil slice")
+	}
+	// Stamps must not leak between calls: nodes seen in a previous
+	// route are fresh in the next.
+	if st.firstRevisit([]int32{1, 2, 3}) != -1 {
+		t.Fatal("stamp leaked across calls")
 	}
 }
 
@@ -85,6 +91,39 @@ func TestOccKeyDistinct(t *testing.T) {
 			seen[k] = true
 		}
 	}
+}
+
+// Boundary values of the occKey packing: the extremes of both fields
+// must stay collision-free, and anything outside the packable range
+// must trip the guard instead of silently aliasing another key.
+func TestOccKeyBounds(t *testing.T) {
+	// elapsed = occElapsedMax is the last value that fits in the low 16
+	// bits; node 1 elapsed 0 is the first key of the next node. Without
+	// the field bound these would collide (1<<16 | 0 == 0<<16 | 65536).
+	hi := occKey(0, occElapsedMax)
+	next := occKey(1, 0)
+	if hi == next {
+		t.Fatalf("boundary collision: occKey(0, %d) == occKey(1, 0) == %d", occElapsedMax, hi)
+	}
+	if hi != occElapsedMax || next != 1<<16 {
+		t.Fatalf("boundary keys moved: got %d and %d", hi, next)
+	}
+	// The largest representable node must survive the shift without
+	// wrapping int64.
+	if k := occKey(1<<31-1, occElapsedMax); k <= 0 {
+		t.Fatalf("occKey(maxNode, maxElapsed) wrapped to %d", k)
+	}
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not trip the bound guard", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("elapsed overflow", func() { occKey(0, occElapsedMax+1) })
+	mustPanic("negative elapsed", func() { occKey(0, -1) })
+	mustPanic("negative node", func() { occKey(-1, 0) })
 }
 
 func TestClusterMIIBounds(t *testing.T) {

@@ -91,10 +91,11 @@ type AttemptStats struct {
 
 	// Search effort spent inside the attempt (also published to the
 	// process metrics and the attempt's trace span).
-	PFIters   int // PathFinder negotiation iterations run
-	RipUps    int // sink routes ripped up for renegotiation
-	SAMoves   int // annealing moves attempted
-	SAAccepts int // annealing moves accepted
+	PFIters   int   // PathFinder negotiation iterations run
+	RipUps    int   // sink routes ripped up for renegotiation
+	SAMoves   int   // annealing moves attempted
+	SAAccepts int   // annealing moves accepted
+	Relax     int64 // router Dijkstra edge relaxations examined
 }
 
 // Result is the outcome of Map.

@@ -15,6 +15,8 @@ var (
 		"Simulated-annealing placement moves attempted across all SPR* attempts.")
 	mSAAccepts = obs.NewCounter("panorama_spr_sa_accepts_total",
 		"Simulated-annealing moves accepted across all SPR* attempts.")
+	mRelax = obs.NewCounter("panorama_spr_relaxations_total",
+		"Router Dijkstra edge relaxations examined across all SPR* attempts.")
 )
 
 // flush publishes one attempt's locally-accumulated search effort to
@@ -28,12 +30,15 @@ func (st *state) flush(span *obs.Span, att *AttemptStats) {
 	att.RipUps = st.ripups
 	att.SAMoves = st.saMoves
 	att.SAAccepts = st.saAccepts
+	att.Relax = st.relax
 	mPFIters.Add(int64(st.pfIters))
 	mRipups.Add(int64(st.ripups))
 	mSAMoves.Add(int64(st.saMoves))
 	mSAAccepts.Add(int64(st.saAccepts))
+	mRelax.Add(st.relax)
 	span.Add("pathfinder.iterations", int64(st.pfIters))
 	span.Add("pathfinder.ripups", int64(st.ripups))
 	span.Add("sa.moves", int64(st.saMoves))
 	span.Add("sa.accepts", int64(st.saAccepts))
+	span.Add("router.relaxations", st.relax)
 }

@@ -46,11 +46,8 @@ func Analyze(d *dfg.Graph, a *arch.CGRA, m *Mapping) (*Report, error) {
 		for i := 0; i+1 < len(route); i++ {
 			from, to := route[i], route[i+1]
 			var adv bool
-			for j := range g.Succ[from] {
-				if g.Succ[from][j].To == to {
-					adv = g.Succ[from][j].Adv
-					break
-				}
+			if e, ok := g.FindEdge(from, to); ok {
+				adv = e.Adv
 			}
 			if adv {
 				elapsed++

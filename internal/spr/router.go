@@ -1,12 +1,24 @@
 package spr
 
 import (
+	"fmt"
 	"math"
 
 	"panorama/internal/mrrg"
 )
 
-// pqueue is a binary min-heap of (cost, state) pairs.
+// pqueue is a binary min-heap of (cost, state) pairs with lazy
+// deletion: an improvement pushes a duplicate entry and stale entries
+// are skipped at pop time. (An indexed decrease-key variant was
+// measured and lost: the position-map writes on every sift level cost
+// more than the duplicates they avoid.) The two payload fields live
+// in parallel slices so the sift-down descent — which reads only
+// costs — stays dense in cache, and sifting moves a hole instead of
+// swapping (half the writes). The comparison order is exactly that of
+// the classic swap-based heap, so the pop sequence — and therefore
+// route tie-breaking on equal costs, which the mapping hashes are
+// sensitive to — is unchanged. (Bottom-up deletion was tried and
+// drifted the mappings.)
 type pqueue struct {
 	cost []float64
 	id   []int32
@@ -15,50 +27,55 @@ type pqueue struct {
 func (q *pqueue) reset() { q.cost = q.cost[:0]; q.id = q.id[:0] }
 
 func (q *pqueue) push(c float64, s int32) {
-	q.cost = append(q.cost, c)
-	q.id = append(q.id, s)
+	q.cost = append(q.cost, 0)
+	q.id = append(q.id, 0)
 	i := len(q.cost) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if q.cost[p] <= q.cost[i] {
+		if q.cost[p] <= c {
 			break
 		}
-		q.cost[p], q.cost[i] = q.cost[i], q.cost[p]
-		q.id[p], q.id[i] = q.id[i], q.id[p]
+		q.cost[i], q.id[i] = q.cost[p], q.id[p]
 		i = p
 	}
+	q.cost[i], q.id[i] = c, s
 }
 
 func (q *pqueue) pop() (float64, int32) {
 	c, s := q.cost[0], q.id[0]
 	last := len(q.cost) - 1
-	q.cost[0], q.id[0] = q.cost[last], q.id[last]
+	lc, li := q.cost[last], q.id[last]
 	q.cost, q.id = q.cost[:last], q.id[:last]
+	if last == 0 {
+		return c, s
+	}
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < len(q.cost) && q.cost[l] < q.cost[small] {
-			small = l
+		small, smallCost := i, lc
+		if l < last && q.cost[l] < smallCost {
+			small, smallCost = l, q.cost[l]
 		}
-		if r < len(q.cost) && q.cost[r] < q.cost[small] {
+		if r < last && q.cost[r] < smallCost {
 			small = r
 		}
 		if small == i {
 			break
 		}
-		q.cost[i], q.cost[small] = q.cost[small], q.cost[i]
-		q.id[i], q.id[small] = q.id[small], q.id[i]
+		q.cost[i], q.id[i] = q.cost[small], q.id[small]
 		i = small
 	}
+	q.cost[i], q.id[i] = lc, li
 	return c, s
 }
 
 func (q *pqueue) empty() bool { return len(q.cost) == 0 }
 
-// claimNode records one more value on an MRRG node, updating overuse.
+// claimNode records one more value on an MRRG node, updating overuse
+// and the node's cost headroom.
 func (st *state) claimNode(node int32) {
 	st.usage[node]++
+	st.rc[node].head--
 	if int(st.usage[node]) > int(st.g.Cap[node]) {
 		st.totalOveruse++
 	}
@@ -70,14 +87,31 @@ func (st *state) releaseNode(node int32) {
 		st.totalOveruse--
 	}
 	st.usage[node]--
+	st.rc[node].head++
 }
+
+// occElapsedMax bounds the elapsed-phase field of occKey: the packing
+// reserves 16 bits for it, so any larger value would collide with the
+// next node's keyspace.
+const occElapsedMax = 1<<16 - 1
 
 // occKey identifies one phase of a signal's occupation of a node: two
 // sink routes of the same signal may share a resource for free only
 // when they pass it at the same elapsed time — at different phases the
 // wire would have to carry two different iterations' values in the
 // same cycle.
+//
+// It survives only on the PANORAMA_DEBUG_OCC validation path (the hot
+// path indexes the occupancy bitset by router state instead). The
+// packing is 48 bits of node << 16 bits of elapsed; the guard turns a
+// silent key collision on out-of-range fields into a loud failure.
+// Elapsed times are bounded by maxDelta (a few times II), so the limit
+// is unreachable in practice.
 func occKey(node int32, elapsed int) int64 {
+	if node < 0 || elapsed < 0 || elapsed > occElapsedMax {
+		panic(fmt.Sprintf("spr: occKey(%d, %d) outside packable range (elapsed max %d)",
+			node, elapsed, occElapsedMax))
+	}
 	return int64(node)<<16 | int64(elapsed)
 }
 
@@ -89,31 +123,35 @@ func (st *state) walkElapsed(route []int32, visit func(node int32, elapsed int))
 	elapsed := 0
 	visit(route[0], 0)
 	for i := 0; i+1 < len(route); i++ {
-		from, to := route[i], route[i+1]
-		for j := range st.g.Succ[from] {
-			if st.g.Succ[from][j].To == to {
-				if st.g.Succ[from][j].Adv {
-					elapsed++
-				}
-				break
-			}
+		if e, ok := st.g.FindEdge(route[i], route[i+1]); ok && e.Adv {
+			elapsed++
 		}
-		visit(to, elapsed)
+		visit(route[i+1], elapsed)
 	}
 }
 
 // claimRoute registers a freshly routed path for sig's sink i.
 func (st *state) claimRoute(sig *signal, i int, route []int32) {
 	sig.routes[i] = route
+	width := int32(st.maxDelta + 1)
 	st.walkElapsed(route, func(n int32, elapsed int) {
 		if st.g.Kinds[n] == mrrg.KindFU {
 			return // consumer FU input: placement resource, not routing
 		}
-		k := occKey(n, elapsed)
-		if sig.occ[k] == 0 {
+		s := n*width + int32(elapsed)
+		if ci := sig.claimIndex(s); ci >= 0 {
+			sig.claims[ci].count++
+		} else {
+			sig.claims = append(sig.claims, occClaim{state: s, count: 1})
 			st.claimNode(n)
+			if st.occSig == sig {
+				st.occBits[s>>6] |= 1 << (uint(s) & 63)
+			}
 		}
-		sig.occ[k]++
+		if debugOcc {
+			sig.occ[occKey(n, elapsed)]++
+			st.checkOcc(sig, n, elapsed)
+		}
 	})
 }
 
@@ -124,15 +162,30 @@ func (st *state) ripupSink(sig *signal, i int) {
 		return
 	}
 	st.ripups++
+	width := int32(st.maxDelta + 1)
 	st.walkElapsed(route, func(n int32, elapsed int) {
 		if st.g.Kinds[n] == mrrg.KindFU {
 			return
 		}
-		k := occKey(n, elapsed)
-		sig.occ[k]--
-		if sig.occ[k] == 0 {
+		s := n*width + int32(elapsed)
+		ci := sig.claimIndex(s)
+		sig.claims[ci].count--
+		if sig.claims[ci].count == 0 {
+			last := len(sig.claims) - 1
+			sig.claims[ci] = sig.claims[last]
+			sig.claims = sig.claims[:last]
 			st.releaseNode(n)
-			delete(sig.occ, k)
+			if st.occSig == sig {
+				st.occBits[s>>6] &^= 1 << (uint(s) & 63)
+			}
+		}
+		if debugOcc {
+			k := occKey(n, elapsed)
+			sig.occ[k]--
+			if sig.occ[k] == 0 {
+				delete(sig.occ, k)
+			}
+			st.checkOcc(sig, n, elapsed)
 		}
 	})
 	sig.routes[i] = nil
@@ -150,18 +203,20 @@ func (st *state) ripupSignal(sig *signal) {
 }
 
 // nodeCost is the PathFinder negotiated-congestion cost of letting sig
-// newly occupy node n at the given elapsed phase.
+// newly occupy node n at the given elapsed phase. sig must be the
+// signal materialised in the occupancy bitset (beginRouting); the
+// membership test is a single word load.
 func (st *state) nodeCost(sig *signal, n int32, elapsed int) float64 {
-	// Fast path: most signals have a single sink, so during their own
-	// reroute the occupancy set is empty and the map lookup is waste.
-	if len(sig.occ) != 0 && sig.occ[occKey(n, elapsed)] > 0 {
+	s := n*int32(st.maxDelta+1) + int32(elapsed)
+	if st.occBits[s>>6]&(1<<(uint(s)&63)) != 0 {
 		return 0.01 // the signal already owns this phase: sharing is free
 	}
-	over := float64(int(st.usage[n]) + 1 - int(st.g.Cap[n]))
+	rc := &st.rc[n]
+	over := float64(1 - int(rc.head)) // usage + 1 - cap
 	if over < 0 {
 		over = 0
 	}
-	return (1 + st.hist[n]) * (1 + st.presFac*over)
+	return (1 + rc.hist) * (1 + st.presFac*over)
 }
 
 // routeSink finds a path for sig's sink i: from the producer's result
@@ -175,17 +230,22 @@ func (st *state) nodeCost(sig *signal, n int32, elapsed int) float64 {
 // temporary penalty and the search repeats, steering long waits into
 // split parks across several registers.
 func (st *state) routeSink(sig *signal, i int) bool {
-	var wrapPenalty map[int32]float64
+	st.beginRouting(sig)
+	st.wrapCur++
+	hasWrap := false
 	for try := 0; try < 6; try++ {
-		route, ok := st.searchSink(sig, i, wrapPenalty)
+		route, ok := st.searchSink(sig, i, hasWrap)
 		if !ok {
 			return false
 		}
-		if dup := firstRevisit(route); dup >= 0 {
-			if wrapPenalty == nil {
-				wrapPenalty = make(map[int32]float64)
+		if dup := st.firstRevisit(route); dup >= 0 {
+			n := route[dup]
+			if st.wrapStamp[n] != st.wrapCur {
+				st.wrapStamp[n] = st.wrapCur
+				st.wrapPen[n] = 0
 			}
-			wrapPenalty[route[dup]] += 6
+			st.wrapPen[n] += 6
+			hasWrap = true
 			continue
 		}
 		st.claimRoute(sig, i, route)
@@ -195,21 +255,25 @@ func (st *state) routeSink(sig *signal, i int) bool {
 }
 
 // firstRevisit returns the index of the first repeated node in the
-// route, or -1.
-func firstRevisit(route []int32) int {
-	seen := make(map[int32]bool, len(route))
+// route, or -1, using the per-node stamp scratch (no per-call
+// allocation).
+func (st *state) firstRevisit(route []int32) int {
+	st.visitCur++
 	for i, n := range route {
-		if seen[n] {
+		if st.visitStamp[n] == st.visitCur {
 			return i
 		}
-		seen[n] = true
+		st.visitStamp[n] = st.visitCur
 	}
 	return -1
 }
 
 // searchSink runs the elapsed-exact Dijkstra for one sink and returns
-// the cheapest path without claiming it.
-func (st *state) searchSink(sig *signal, i int, wrapPenalty map[int32]float64) ([]int32, bool) {
+// the cheapest path without claiming it. hasWrap tells it to consult
+// the epoch-stamped wrap penalties accumulated by routeSink's retry
+// loop (false on the common first try, so the relax loop pays
+// nothing).
+func (st *state) searchSink(sig *signal, i int, hasWrap bool) ([]int32, bool) {
 	s := sig.sinks[i]
 	if s.delta < 0 || s.delta > st.maxDelta {
 		return nil, false
@@ -229,28 +293,40 @@ func (st *state) searchSink(sig *signal, i int, wrapPenalty map[int32]float64) (
 	st.pq.reset()
 
 	startState := start*int32(width) + 0
-	st.dist[startState] = st.nodeCost(sig, start, 0)
-	st.prev[startState] = -1
-	st.stamp[startState] = st.cur
-	st.pq.push(st.dist[startState], startState)
+	startCost := st.nodeCost(sig, start, 0)
+	st.scratch[startState] = dnode{dist: startCost, prev: -1, stamp: st.cur}
+	st.pq.push(startCost, startState)
 
 	targetState := target*int32(width) + int32(s.delta)
 
-	for !st.pq.empty() {
-		c, cs := st.pq.pop()
-		if st.stamp[cs] == -st.cur { // already settled (negated stamp)
-			continue
+	// Hoist the hot-loop state into locals: the pq.push call inside the
+	// loop keeps the compiler from caching loads through st, and the
+	// relaxation count stays in a register until the single flush below.
+	// The congestion step is nodeCost inlined over the same locals.
+	g := st.g
+	scratch := st.scratch
+	occBits := st.occBits
+	rcArr := st.rc
+	presFac := st.presFac
+	wrapStamp, wrapPen, wrapCur := st.wrapStamp, st.wrapPen, st.wrapCur
+	cur := st.cur
+	pq := &st.pq
+	var relax int64
+
+	for !pq.empty() {
+		c, cs := pq.pop()
+		if sc := &scratch[cs]; sc.stamp == -cur || c > sc.dist {
+			continue // already settled (negated stamp) or stale entry
+		} else {
+			sc.stamp = -cur
 		}
-		if c > st.dist[cs] {
-			continue
-		}
-		st.stamp[cs] = -st.cur
 		if cs == targetState {
 			break
 		}
 		node := cs / int32(width)
 		elapsed := int(cs % int32(width))
-		for _, e := range st.g.Succ[node] {
+		for _, e := range g.Succs(node) {
+			relax++
 			ne := elapsed
 			if e.Adv {
 				ne++
@@ -258,47 +334,58 @@ func (st *state) searchSink(sig *signal, i int, wrapPenalty map[int32]float64) (
 					continue
 				}
 			}
-			if st.g.Kinds[e.To] == mrrg.KindFU {
-				// FU nodes are route sinks only.
+			ns := e.To*int32(width) + int32(ne)
+			var nc float64
+			if e.ToFU {
+				// FU nodes are route sinks only, and the input pin is
+				// not a shared resource: the step is free.
 				if e.To != target || ne != s.delta {
 					continue
 				}
-			}
-			step := st.nodeCost(sig, e.To, ne)
-			if wrapPenalty != nil {
-				step += wrapPenalty[e.To]
-			}
-			if e.Express {
-				if prefer {
-					step *= 0.5
+				nc = c
+			} else {
+				var step float64
+				if occBits[ns>>6]&(1<<(uint(ns)&63)) != 0 {
+					step = 0.01 // the signal already owns this phase
 				} else {
-					step *= 1.6
+					rc := &rcArr[e.To]
+					over := float64(1 - int(rc.head)) // usage + 1 - cap
+					if over < 0 {
+						over = 0
+					}
+					step = (1 + rc.hist) * (1 + presFac*over)
 				}
+				if hasWrap && wrapStamp[e.To] == wrapCur {
+					step += wrapPen[e.To]
+				}
+				if e.Express {
+					if prefer {
+						step *= 0.5
+					} else {
+						step *= 1.6
+					}
+				}
+				nc = c + step
 			}
-			if st.g.Kinds[e.To] == mrrg.KindFU {
-				step = 0 // input pin, not a shared resource
-			}
-			ns := e.To*int32(width) + int32(ne)
-			nc := c + step
-			if st.stamp[ns] == -st.cur {
+			sc := &scratch[ns]
+			if sc.stamp == -cur {
 				continue
 			}
-			if st.stamp[ns] != st.cur || nc < st.dist[ns] {
-				st.dist[ns] = nc
-				st.prev[ns] = cs
-				st.stamp[ns] = st.cur
-				st.pq.push(nc, ns)
+			if sc.stamp != cur || nc < sc.dist {
+				*sc = dnode{dist: nc, prev: cs, stamp: cur}
+				pq.push(nc, ns)
 			}
 		}
 	}
-	if st.stamp[targetState] != -st.cur {
+	st.relax += relax
+	if st.scratch[targetState].stamp != -st.cur {
 		return nil, false
 	}
 	// Reconstruct.
 	var route []int32
-	for cs := targetState; cs != -1; cs = st.prev[cs] {
+	for cs := targetState; cs != -1; cs = st.scratch[cs].prev {
 		route = append(route, cs/int32(width))
-		if st.prev[cs] == -1 {
+		if st.scratch[cs].prev == -1 {
 			break
 		}
 	}
@@ -330,15 +417,17 @@ func (st *state) routeAll() {
 	// Reset routing state.
 	for i := range st.usage {
 		st.usage[i] = 0
-		st.hist[i] = 0
+		st.rc[i] = resCost{head: st.g.Cap[i]}
 	}
 	st.totalOveruse = 0
 	st.unrouted = 0
 	st.presFac = 1.5
+	st.beginRouting(nil)
 	for _, sig := range st.signals {
 		for i := range sig.routes {
 			sig.routes[i] = nil
 		}
+		sig.claims = sig.claims[:0]
 		for n := range sig.occ {
 			delete(sig.occ, n)
 		}
@@ -371,7 +460,7 @@ func (st *state) pathFinderIterations(k int) {
 		st.presFac = math.Min(st.presFac*1.4, 64)
 		for n := range st.usage {
 			if int(st.usage[n]) > int(st.g.Cap[n]) {
-				st.hist[n] += 0.5 * float64(int(st.usage[n])-int(st.g.Cap[n]))
+				st.rc[n].hist += 0.5 * float64(int(st.usage[n])-int(st.g.Cap[n]))
 			}
 		}
 		for _, sig := range st.signals {
@@ -383,8 +472,9 @@ func (st *state) pathFinderIterations(k int) {
 				}
 			}
 			if !needs {
-				for k := range sig.occ {
-					n := int32(k >> 16)
+				width := int32(st.maxDelta + 1)
+				for _, c := range sig.claims {
+					n := c.state / width
 					if int(st.usage[n]) > int(st.g.Cap[n]) {
 						needs = true
 						break

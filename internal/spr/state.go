@@ -25,13 +25,60 @@ type sink struct {
 	delta    int // exact cycles the route must take (schedule slack)
 }
 
+// dnode is one router state's Dijkstra scratch: tentative distance,
+// predecessor state, and the epoch stamp that marks it reached
+// (st.cur) or settled (-st.cur) without clearing between searches.
+type dnode struct {
+	dist  float64
+	prev  int32
+	stamp int32
+}
+
+// resCost is the per-MRRG-node congestion state nodeCost reads on
+// every relaxation: the accumulated PathFinder history factor and the
+// node's remaining capacity headroom (Cap - usage), fused so the hot
+// loop touches one cache line per node instead of three arrays.
+type resCost struct {
+	hist float64
+	head int16
+}
+
+// occClaim is one reference-counted occupancy of a routing state
+// (node, elapsed phase) by a signal, across its sink routes.
+type occClaim struct {
+	state int32 // node*(maxDelta+1) + elapsed, the router's state index
+	count int32 // how many of the signal's routes pass this state
+}
+
 // signal is one produced value and all its consumers. PathFinder
 // counts a signal once per resource regardless of fan-out.
 type signal struct {
 	src    int
 	sinks  []sink
-	routes [][]int32     // per sink; nil = currently unrouted
-	occ    map[int64]int // occKey(node, elapsed) -> reference count across routes
+	routes [][]int32 // per sink; nil = currently unrouted
+
+	// claims is the authoritative per-phase occupancy of the signal: a
+	// compact list scanned linearly on claim/rip-up (routes are short).
+	// The router's congestion costing never scans it — the state's
+	// shared occupancy bitset answers membership in O(1) for the signal
+	// currently being routed (see state.beginRouting).
+	claims []occClaim
+
+	// occ mirrors claims as an occKey-indexed reference-count map, and
+	// exists only under PANORAMA_DEBUG_OCC as the validation fallback
+	// cross-checked against the bitset path (see debug.go). nil in
+	// normal operation.
+	occ map[int64]int
+}
+
+// claimIndex returns the position of state in claims, or -1.
+func (sig *signal) claimIndex(state int32) int {
+	for i := range sig.claims {
+		if sig.claims[i].state == state {
+			return i
+		}
+	}
+	return -1
 }
 
 type state struct {
@@ -59,7 +106,7 @@ type state struct {
 	signals      []*signal
 	sigOf        []int // DFG node -> signal index (-1 when it has no consumers)
 	usage        []int16
-	hist         []float64
+	rc           []resCost // per-node congestion state (see resCost)
 	presFac      float64
 	totalOveruse int
 	unrouted     int
@@ -69,20 +116,61 @@ type state struct {
 	// Search-effort counters, accumulated locally inside the hot loops
 	// and flushed once per attempt (see obs.go) so instrumentation adds
 	// no atomics to routing or annealing inner loops.
-	pfIters   int // PathFinder negotiation iterations run
-	ripups    int // sink routes ripped up for renegotiation
-	saMoves   int // annealing moves attempted
-	saAccepts int // annealing moves accepted
+	pfIters   int   // PathFinder negotiation iterations run
+	ripups    int   // sink routes ripped up for renegotiation
+	saMoves   int   // annealing moves attempted
+	saAccepts int   // annealing moves accepted
+	relax     int64 // Dijkstra edge relaxations examined while routing
 
 	fail       int    // DFG node that broke initial placement (-1 = none)
 	failReason string // human-readable diagnosis
 
-	// Dijkstra scratch, indexed by node*(maxDelta+1)+elapsed.
-	dist  []float64
-	prev  []int32
-	stamp []int32
-	cur   int32
-	pq    pqueue
+	// Dijkstra scratch, indexed by node*(maxDelta+1)+elapsed. One
+	// struct per router state keeps the distance, predecessor and
+	// visit stamp of a relaxation on a single cache line.
+	scratch []dnode
+	cur     int32
+	pq      pqueue
+
+	// Per-phase occupancy bitset over the same state indexing as the
+	// Dijkstra scratch, materialised for the one signal currently being
+	// routed (occSig): bit set = occSig occupies that (node, elapsed)
+	// state. nodeCost reads it with a single word load in place of the
+	// old per-relaxation map lookup.
+	occBits []uint64
+	occSig  *signal
+
+	// Revisit-detection scratch (routeSink), one stamp per MRRG node.
+	visitStamp []int32
+	visitCur   int32
+
+	// Wrap-penalty scratch (routeSink retries), epoch-stamped per MRRG
+	// node so retries never allocate and stale penalties need no
+	// clearing.
+	wrapPen   []float64
+	wrapStamp []int32
+	wrapCur   int32
+}
+
+// beginRouting materialises sig's per-phase occupancy into the shared
+// bitset, demoting whichever signal held it. Claim and rip-up keep the
+// bitset in sync while sig stays current, so repeated calls for the
+// same signal are free.
+func (st *state) beginRouting(sig *signal) {
+	if st.occSig == sig {
+		return
+	}
+	if st.occSig != nil {
+		for _, c := range st.occSig.claims {
+			st.occBits[c.state>>6] &^= 1 << (uint(c.state) & 63)
+		}
+	}
+	st.occSig = sig
+	if sig != nil {
+		for _, c := range sig.claims {
+			st.occBits[c.state>>6] |= 1 << (uint(c.state) & 63)
+		}
+	}
 }
 
 func newState(d *dfg.Graph, a *arch.CGRA, ii int, opts *Options) (*state, error) {
@@ -121,13 +209,18 @@ func newState(d *dfg.Graph, a *arch.CGRA, ii int, opts *Options) (*state, error)
 	st.opsOnPE = make([]int, a.NumPEs())
 	st.alap = d.ALAP()
 	st.usage = make([]int16, g.NumNodes)
-	st.hist = make([]float64, g.NumNodes)
+	st.rc = make([]resCost, g.NumNodes)
+	for i := range st.rc {
+		st.rc[i].head = g.Cap[i]
+	}
 	st.buildCandidates()
 
 	states := g.NumNodes * (st.maxDelta + 1)
-	st.dist = make([]float64, states)
-	st.prev = make([]int32, states)
-	st.stamp = make([]int32, states)
+	st.scratch = make([]dnode, states)
+	st.occBits = make([]uint64, (states+63)/64)
+	st.visitStamp = make([]int32, g.NumNodes)
+	st.wrapPen = make([]float64, g.NumNodes)
+	st.wrapStamp = make([]int32, g.NumNodes)
 	return st, nil
 }
 
@@ -454,7 +547,10 @@ func (st *state) buildSignals() {
 		if len(outs) == 0 {
 			continue
 		}
-		sig := &signal{src: v, occ: make(map[int64]int)}
+		sig := &signal{src: v}
+		if debugOcc {
+			sig.occ = make(map[int64]int)
+		}
 		for _, ei := range outs {
 			e := st.d.Edges[ei]
 			sig.sinks = append(sig.sinks, sink{edge: ei, consumer: e.To})

@@ -234,14 +234,8 @@ func checkRoutes(d *dfg.Graph, a *arch.CGRA, m *Mapping) error {
 		elapsed := 0
 		for i := 0; i+1 < len(route); i++ {
 			from, to := route[i], route[i+1]
-			var hop *mrrg.Edge
-			for j := range g.Succ[from] {
-				if g.Succ[from][j].To == to {
-					hop = &g.Succ[from][j]
-					break
-				}
-			}
-			if hop == nil {
+			hop, ok := g.FindEdge(from, to)
+			if !ok {
 				return errf("route", "edge %d->%d uses non-existent MRRG hop %s -> %s",
 					e.From, e.To, g.Describe(int(from)), g.Describe(int(to)))
 			}
