@@ -4,14 +4,14 @@ GO ?= go
 # nightly CI job raises it (see .github/workflows/ci.yml).
 FUZZTIME ?= 10s
 
-.PHONY: check build test vet race bench bench-check bench-snapshot check-fault check-service check-diff check-obs docs fuzz
+.PHONY: check build test vet race bench bench-check bench-snapshot check-fault check-service check-journal check-diff check-obs docs fuzz
 
 # The repository's verification gate: formatting + godoc contract, vet,
 # build everything, then the full test suite with the race detector
 # (the parallel pipeline and harness paths all run under it), plus the
-# fault-injection matrix, the service-layer contract tests, and the
-# observability overhead guard.
-check: docs vet build race check-fault check-service check-obs
+# fault-injection matrix, the service-layer contract tests, the
+# crash-safety suite, and the observability overhead guard.
+check: docs vet build race check-fault check-service check-journal check-obs
 
 # The documentation contract: everything gofmt-clean, and every
 # exported symbol in the audited packages carries a doc comment
@@ -21,7 +21,7 @@ docs:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) run ./cmd/doccheck ./internal/core ./internal/dfg ./internal/verify \
-		./internal/service ./internal/failure ./internal/obs
+		./internal/service ./internal/failure ./internal/obs ./internal/journal
 
 # The observability contracts: span-tree well-formedness under 16
 # concurrent requests, /metricsz exposition-format validity, the
@@ -50,6 +50,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFingerprint -fuzztime $(FUZZTIME) ./internal/dfg/
 	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME) ./internal/dfg/
 	$(GO) test -run '^$$' -fuzz FuzzServiceRequest -fuzztime $(FUZZTIME) ./internal/service/
+	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime $(FUZZTIME) ./internal/journal/
 
 # The fault matrix: every failure site (eigensolve, k-means, ILP,
 # greedy, lower mapper) is armed in turn and the pipeline must degrade
@@ -66,6 +67,15 @@ check-fault:
 check-service:
 	$(GO) test -race ./internal/service/ ./internal/dfg/
 	$(GO) test -race -run 'TestMapSummaryUsesCache|TestCompareCachedMatchesFresh' ./internal/bench/
+
+# The crash-safety suite: journal append/replay/compaction invariants,
+# the torn-tail property, and the service-level chaos tests — hard-drop
+# mid-flight, reopen, every job completes exactly once with
+# byte-identical results — all under the race detector.
+check-journal:
+	$(GO) test -race ./internal/journal/
+	$(GO) test -race -run 'TestCrashRecovery|TestDrainRequeues|TestRetry|TestBreaker|TestWatchdog|TestJournalAppendFault|TestServiceRunFault' \
+		./internal/service/
 
 build:
 	$(GO) build ./...

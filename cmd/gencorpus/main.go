@@ -1,6 +1,7 @@
 // Command gencorpus regenerates the committed seed corpora for the
 // native fuzz targets (FuzzMapSPR, FuzzMapUltraFast, FuzzFingerprint,
-// FuzzServiceRequest). Each entry is written in the `go test fuzz v1`
+// FuzzServiceRequest, FuzzJournalReplay). Each entry is written in the
+// `go test fuzz v1`
 // file format under the owning package's testdata/fuzz directory, so
 // `go test` replays them as regression tests on every run and `go test
 // -fuzz` seeds exploration from them.
@@ -22,6 +23,7 @@ import (
 	"strconv"
 
 	"panorama/internal/dfgen"
+	"panorama/internal/journal"
 )
 
 // graphParams spans the shapes the differential corpus cares about:
@@ -83,6 +85,55 @@ func main() {
 		reqEntries[i] = []byte(r)
 	}
 	writeCorpus("internal/service/testdata/fuzz/FuzzServiceRequest", reqEntries)
+	writeCorpus("internal/journal/testdata/fuzz/FuzzJournalReplay", journalEntries())
+}
+
+// journalEntries seeds FuzzJournalReplay with the segment shapes the
+// replay path must survive: a well-formed segment produced by the real
+// writer, the same segment torn mid-record, a header with no records,
+// raw garbage, and a bit flip inside a record body (a CRC mismatch).
+func journalEntries() [][]byte {
+	dir, err := os.MkdirTemp("", "gencorpus-journal")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	j, err := journal.Open(dir, journal.Options{NoSync: true})
+	if err != nil {
+		log.Fatalf("journal corpus: %v", err)
+	}
+	recs := []journal.Record{
+		{Kind: journal.Submitted, JobID: "job-000001", Key: "fp-1", Blob: []byte("payload-one")},
+		{Kind: journal.Started, JobID: "job-000001", Attempt: 1, Note: "pan-spr"},
+		{Kind: journal.Submitted, JobID: "job-000002", Key: "fp-2", Blob: []byte("payload-two")},
+		{Kind: journal.Completed, JobID: "job-000001"},
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			log.Fatalf("journal corpus append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		log.Fatalf("journal corpus close: %v", err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "*.pjrn"))
+	if err != nil || len(segs) == 0 {
+		log.Fatalf("journal corpus: no segment written (%v)", err)
+	}
+	intact, err := os.ReadFile(segs[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	torn := append([]byte(nil), intact[:len(intact)-3]...)
+	flipped := append([]byte(nil), intact...)
+	flipped[len(flipped)/2] ^= 0x40
+	return [][]byte{
+		intact,
+		torn,
+		[]byte("PJRN\x01"),
+		[]byte("garbage, not a journal at all"),
+		flipped,
+	}
 }
 
 func writeCorpus(dir string, entries [][]byte) {

@@ -4,9 +4,18 @@
 // budget ladder, and served from a content-addressed result cache
 // (optionally persisted across restarts with -cache-dir).
 //
+// With -journal-dir the daemon is crash-safe: every accepted job is
+// recorded in a write-ahead journal, and on startup unfinished jobs
+// are replayed and re-enqueued (completed ones resolve from the result
+// cache, so nothing runs twice). Failed attempts retry with
+// exponential backoff, over-budget jobs step down to the cheaper
+// mapper rung, a watchdog cancels and retries stalled runs, and a
+// service-level breaker degrades and then sheds admissions when the
+// rolling failure rate spikes.
+//
 // Usage:
 //
-//	panoramad -addr :8080 -cache-dir /var/cache/panorama -queue 64 -timeout 2m
+//	panoramad -addr :8080 -cache-dir /var/cache/panorama -journal-dir /var/lib/panorama/journal -queue 64 -timeout 2m
 //
 // Endpoints:
 //
@@ -47,16 +56,18 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		cacheDir  = flag.String("cache-dir", "", "persist the result cache here (empty = memory only)")
-		cacheSize = flag.Int("cache-size", service.DefaultCacheSize, "in-memory cache entries")
-		workers   = flag.Int("workers", 1, "jobs mapped concurrently")
-		queue     = flag.Int("queue", 16, "job queue depth; a full queue answers 429")
-		pipelineJ = flag.Int("j", 0, "worker-pool width inside each pipeline (0 = one per CPU, 1 = serial)")
-		timeout   = flag.Duration("timeout", 5*time.Minute, "default per-job wall-clock budget (requests may lower it via timeoutMS); 0 = unbounded")
-		drain     = flag.Duration("drain", 0, "graceful-shutdown drain budget; 0 = the per-job -timeout")
-		retry     = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
-		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		cacheDir    = flag.String("cache-dir", "", "persist the result cache here (empty = memory only)")
+		cacheSize   = flag.Int("cache-size", service.DefaultCacheSize, "in-memory cache entries")
+		workers     = flag.Int("workers", 1, "jobs mapped concurrently")
+		queue       = flag.Int("queue", 16, "job queue depth; a full queue answers 429")
+		pipelineJ   = flag.Int("j", 0, "worker-pool width inside each pipeline (0 = one per CPU, 1 = serial)")
+		timeout     = flag.Duration("timeout", 5*time.Minute, "default per-job wall-clock budget (requests may lower it via timeoutMS); 0 = unbounded")
+		drain       = flag.Duration("drain", 0, "graceful-shutdown drain budget; 0 = the per-job -timeout")
+		retry       = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		journalDir  = flag.String("journal-dir", "", "crash-safe job journal directory: accepted jobs survive a crash and re-run on restart (empty = no durability)")
+		maxAttempts = flag.Int("max-attempts", 3, "execution attempts per job, restarts included")
 	)
 	flag.Parse()
 
@@ -68,12 +79,18 @@ func main() {
 		CacheDir:        *cacheDir,
 		Budgets:         core.Budgets{Total: *timeout},
 		RetryAfter:      *retry,
+		JournalDir:      *journalDir,
+		MaxAttempts:     *maxAttempts,
 	})
 	if err != nil {
 		log.Fatalf("panoramad: %v", err)
 	}
 	if *cacheDir != "" {
-		log.Printf("panoramad: cache dir %s (%d entries loaded)", *cacheDir, srv.Cache().Len())
+		log.Printf("panoramad: cache dir %s (%d entries loaded, %d skipped)", *cacheDir, srv.Cache().Len(), srv.Cache().LoadSkipped())
+	}
+	if js, ok := srv.JournalStats(); ok {
+		log.Printf("panoramad: journal %s: %d record(s) replayed from %d segment(s), %d torn byte(s) dropped, %d compaction(s)",
+			*journalDir, js.Replayed, js.Segments, js.DroppedBytes, js.Compactions)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -56,6 +56,21 @@ const (
 	// SiteLowerMap guards each lower-mapper invocation (one hit per
 	// rung of the guided→relaxed→unguided ladder).
 	SiteLowerMap = "core.lower"
+	// SiteJournalAppend guards every job-journal record append; an
+	// Error rule here simulates a full or failing disk under the
+	// write-ahead journal.
+	SiteJournalAppend = "journal.append"
+	// SiteJournalSync guards the fsync after each journal append, so
+	// tests can separate write failures from durability failures.
+	SiteJournalSync = "journal.sync"
+	// SiteJournalReplay guards each record decoded during journal
+	// replay; a rule here makes an otherwise-intact record read as
+	// corrupt, exercising the torn-tail recovery path.
+	SiteJournalReplay = "journal.replay"
+	// SiteServiceRun guards each service job execution attempt, ahead
+	// of the pipeline itself; Error rules here look like transient
+	// worker faults and drive the retry/backoff machinery.
+	SiteServiceRun = "service.run"
 )
 
 // Kind selects what an armed rule does when it fires.

@@ -1,0 +1,398 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"panorama/internal/faultinject"
+)
+
+func openT(t *testing.T, dir string, opts Options) *Journal {
+	t.Helper()
+	j, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return j
+}
+
+func submitRec(i int) Record {
+	return Record{
+		Kind:  Submitted,
+		JobID: fmt.Sprintf("job-%06d", i),
+		Key:   fmt.Sprintf("key-%d", i),
+		Note:  "queued",
+		Blob:  []byte(fmt.Sprintf("payload-%d", i)),
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir, Options{})
+	for i := 1; i <= 3; i++ {
+		if err := j.Append(submitRec(i)); err != nil {
+			t.Fatalf("append submitted %d: %v", i, err)
+		}
+	}
+	must := func(r Record) {
+		t.Helper()
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(Record{Kind: Started, JobID: "job-000001", Key: "key-1", Attempt: 1})
+	must(Record{Kind: Completed, JobID: "job-000001", Key: "key-1"})
+	must(Record{Kind: Started, JobID: "job-000002", Key: "key-2", Attempt: 1})
+	must(Record{Kind: Started, JobID: "job-000002", Key: "key-2", Attempt: 2})
+	must(Record{Kind: Requeued, JobID: "job-000003", Key: "key-3"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openT(t, dir, Options{})
+	defer j2.Close()
+	st := j2.Stats()
+	if st.Replayed != 8 || st.DroppedBytes != 0 {
+		t.Fatalf("replayed=%d dropped=%d, want 8/0", st.Replayed, st.DroppedBytes)
+	}
+	pend := j2.Pending()
+	if len(pend) != 2 {
+		t.Fatalf("pending %d jobs, want 2 (got %+v)", len(pend), pend)
+	}
+	if pend[0].JobID != "job-000002" || pend[1].JobID != "job-000003" {
+		t.Fatalf("pending order %v %v, want job-000002, job-000003", pend[0].JobID, pend[1].JobID)
+	}
+	if pend[0].Attempt != 2 {
+		t.Fatalf("job-000002 replayed attempts = %d, want 2", pend[0].Attempt)
+	}
+	if string(pend[0].Blob) != "payload-2" || pend[0].Key != "key-2" {
+		t.Fatalf("submitted payload lost: %+v", pend[0])
+	}
+}
+
+// A torn tail — the last record cut mid-bytes — must never lose the
+// intact prefix nor fail Open, and appends after recovery must land
+// cleanly after the intact records.
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir, Options{})
+	for i := 1; i <= 4; i++ {
+		if err := j.Append(submitRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	seg := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, 3, 10} { // cut inside length, payload, CRC
+		t.Run(fmt.Sprintf("cut-%d", cut), func(t *testing.T) {
+			d2 := t.TempDir()
+			torn := filepath.Join(d2, segmentName(1))
+			if err := os.WriteFile(torn, data[:len(data)-cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			j2 := openT(t, d2, Options{})
+			defer j2.Close()
+			st := j2.Stats()
+			if st.DroppedBytes == 0 {
+				t.Fatal("torn tail not detected")
+			}
+			pend := j2.Pending()
+			if len(pend) != 3 {
+				t.Fatalf("recovered %d jobs, want the 3 intact ones", len(pend))
+			}
+			// The journal stays appendable after truncation.
+			if err := j2.Append(submitRec(9)); err != nil {
+				t.Fatalf("append after torn-tail recovery: %v", err)
+			}
+			j2.Close()
+			j3 := openT(t, d2, Options{})
+			defer j3.Close()
+			if got := len(j3.Pending()); got != 4 {
+				t.Fatalf("after append+reopen: %d pending, want 4", got)
+			}
+		})
+	}
+}
+
+// A corrupt record mid-file (bit flip under the CRC) drops that record
+// and everything after it in the segment, but keeps the intact prefix
+// and never fails Open.
+func TestCorruptRecordCRC(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir, Options{})
+	for i := 1; i <= 4; i++ {
+		if err := j.Append(submitRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	seg := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the second record's payload. Records are
+	// equal-sized here; record 1 starts at headerLen.
+	recLen := (len(data) - headerLen) / 4
+	data[headerLen+recLen+recLen/2] ^= 0x40
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2 := openT(t, dir, Options{})
+	defer j2.Close()
+	if got := len(j2.Pending()); got != 1 {
+		t.Fatalf("recovered %d jobs, want 1 (the record before the corruption)", got)
+	}
+	if j2.Stats().DroppedBytes == 0 {
+		t.Fatal("corruption not counted")
+	}
+}
+
+// A segment with a foreign or mangled header is skipped wholesale.
+func TestBadHeaderSegment(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), []byte("NOPE"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j := openT(t, dir, Options{})
+	defer j.Close()
+	if got := len(j.Pending()); got != 0 {
+		t.Fatalf("pending %d, want 0", got)
+	}
+	if err := j.Append(submitRec(1)); err != nil {
+		t.Fatalf("append after bad-header recovery: %v", err)
+	}
+}
+
+// Outgrowing SegmentBytes triggers compaction: terminal jobs vanish,
+// live jobs carry over with their attempt counts, and old segments are
+// deleted.
+func TestRotationCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir, Options{SegmentBytes: 256})
+	for i := 1; i <= 20; i++ {
+		if err := j.Append(submitRec(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(Record{Kind: Started, JobID: submitRec(i).JobID, Key: submitRec(i).Key, Attempt: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			if err := j.Append(Record{Kind: Completed, JobID: submitRec(i).JobID, Key: submitRec(i).Key}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if j.Stats().Compactions == 0 {
+		t.Fatal("no compaction despite tiny SegmentBytes")
+	}
+	if got := len(j.Pending()); got != 10 {
+		t.Fatalf("pending %d, want the 10 uncompleted jobs", got)
+	}
+	j.Close()
+
+	names, err := segmentNames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 {
+		t.Fatalf("%d segment files after compaction, want 1: %v", len(names), names)
+	}
+	j2 := openT(t, dir, Options{})
+	defer j2.Close()
+	pend := j2.Pending()
+	if len(pend) != 10 {
+		t.Fatalf("reopened pending %d, want 10", len(pend))
+	}
+	for _, r := range pend {
+		if r.Attempt != 1 {
+			t.Fatalf("compaction lost attempt count: %+v", r)
+		}
+		if len(r.Blob) == 0 {
+			t.Fatalf("compaction lost submitted payload: %+v", r)
+		}
+	}
+}
+
+// Startup compaction garbage-collects terminal records even without
+// rotation pressure.
+func TestOpenCompactsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir, Options{})
+	for i := 1; i <= 6; i++ {
+		if err := j.Append(submitRec(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(Record{Kind: Failed, JobID: submitRec(i).JobID, Key: submitRec(i).Key, Note: "boom"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Append(submitRec(7)); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := os.Stat(filepath.Join(dir, segmentName(1)))
+	j.Close()
+
+	j2 := openT(t, dir, Options{})
+	defer j2.Close()
+	if j2.Stats().Compactions == 0 {
+		t.Fatal("open did not compact a garbage-heavy journal")
+	}
+	names, _ := segmentNames(dir)
+	if len(names) != 1 {
+		t.Fatalf("%d segments after startup compaction: %v", len(names), names)
+	}
+	after, err := os.Stat(filepath.Join(dir, names[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Fatalf("compaction did not shrink the journal: %d -> %d", before.Size(), after.Size())
+	}
+	if got := len(j2.Pending()); got != 1 {
+		t.Fatalf("pending %d, want 1", got)
+	}
+}
+
+// Injected append and sync faults surface as errors without corrupting
+// in-memory state, and the journal keeps working once disarmed.
+func TestAppendFaultInjection(t *testing.T) {
+	for _, site := range []string{faultinject.SiteJournalAppend, faultinject.SiteJournalSync} {
+		t.Run(site, func(t *testing.T) {
+			dir := t.TempDir()
+			j := openT(t, dir, Options{})
+			defer j.Close()
+			if err := j.Append(submitRec(1)); err != nil {
+				t.Fatal(err)
+			}
+			disarm := faultinject.Arm(&faultinject.Plan{Rules: []faultinject.Rule{
+				{Site: site, Kind: faultinject.Error, From: 1, Count: 1},
+			}})
+			err := j.Append(submitRec(2))
+			disarm()
+			if err == nil {
+				t.Fatalf("append under %s fault returned nil", site)
+			}
+			if !strings.Contains(err.Error(), "journal:") {
+				t.Fatalf("fault not wrapped with journal context: %v", err)
+			}
+			if j.Stats().AppendErrors != 1 {
+				t.Fatalf("AppendErrors = %d, want 1", j.Stats().AppendErrors)
+			}
+			// In-memory state still tracks the job, and later appends work.
+			if got := len(j.Pending()); got != 2 {
+				t.Fatalf("pending %d, want 2 (degraded journal keeps tracking)", got)
+			}
+			if err := j.Append(submitRec(3)); err != nil {
+				t.Fatalf("append after disarm: %v", err)
+			}
+		})
+	}
+}
+
+// A replay-time injected corruption truncates replay at that record,
+// exactly like a real CRC mismatch.
+func TestReplayFaultInjection(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir, Options{})
+	for i := 1; i <= 5; i++ {
+		if err := j.Append(submitRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	disarm := faultinject.Arm(&faultinject.Plan{Rules: []faultinject.Rule{
+		{Site: faultinject.SiteJournalReplay, Kind: faultinject.Error, From: 3},
+	}})
+	j2, err := Open(dir, Options{})
+	disarm()
+	if err != nil {
+		t.Fatalf("Open under replay fault: %v", err)
+	}
+	defer j2.Close()
+	if got := len(j2.Pending()); got != 2 {
+		t.Fatalf("recovered %d records, want the 2 before the injected corruption", got)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir, Options{})
+	defer j.Close()
+	if err := j.Append(Record{Kind: 0, JobID: "x"}); err == nil {
+		t.Fatal("invalid kind accepted")
+	}
+	if err := j.Append(Record{Kind: Submitted}); err == nil {
+		t.Fatal("empty job id accepted")
+	}
+	j.Close()
+	if err := j.Append(submitRec(1)); err == nil {
+		t.Fatal("append on closed journal accepted")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	j := openT(t, t.TempDir(), Options{})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// Concurrent appends from many goroutines keep the journal consistent
+// (run under -race in CI).
+func TestConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir, Options{NoSync: true})
+	const writers, per = 8, 25
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			var err error
+			for i := 0; i < per; i++ {
+				id := w*per + i
+				if e := j.Append(submitRec(id)); e != nil && err == nil {
+					err = e
+				}
+			}
+			errs <- err
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(j.Pending()); got != writers*per {
+		t.Fatalf("pending %d, want %d", got, writers*per)
+	}
+	j.Close()
+	j2 := openT(t, dir, Options{})
+	defer j2.Close()
+	if got := len(j2.Pending()); got != writers*per {
+		t.Fatalf("reopened pending %d, want %d", got, writers*per)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Submitted: "submitted", Started: "started", Completed: "completed",
+		Failed: "failed", Cancelled: "cancelled", Requeued: "requeued",
+		Kind(42): "kind(42)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

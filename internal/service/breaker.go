@@ -1,0 +1,104 @@
+package service
+
+import "sync"
+
+// breakerState is the service-level circuit state derived from the
+// rolling failure rate of executed jobs.
+type breakerState int
+
+const (
+	// breakerOK admits work normally.
+	breakerOK breakerState = iota
+	// breakerDegrade admits new work on the next-cheaper mapper rung.
+	breakerDegrade
+	// breakerShed refuses new work (503 + Retry-After).
+	breakerShed
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerDegrade:
+		return "degrade"
+	case breakerShed:
+		return "shed"
+	}
+	return "ok"
+}
+
+// breaker tracks the outcome of the last window executions in a ring.
+// Two thresholds stage the response: past degradeAt the service
+// degrades new admissions to the cheaper mapper (serving worse answers
+// beats serving none), past shedAt it sheds load outright. Recovery is
+// implicit — successes push failures out of the window. The breaker
+// only judges with at least half a window of samples, so a single
+// early failure can never trip it.
+type breaker struct {
+	mu        sync.Mutex
+	ring      []bool // true = failure
+	n, idx    int    // samples seen (≤ len(ring)), next write slot
+	fails     int
+	degradeAt float64
+	shedAt    float64
+}
+
+// newBreaker sizes the rolling window; thresholds are failure-rate
+// fractions in (0, 1]. A nil breaker (disabled) always reports
+// breakerOK.
+func newBreaker(window int, degradeAt, shedAt float64) *breaker {
+	return &breaker{ring: make([]bool, window), degradeAt: degradeAt, shedAt: shedAt}
+}
+
+// record folds one terminal job outcome into the window.
+func (b *breaker) record(failed bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.n == len(b.ring) {
+		if b.ring[b.idx] {
+			b.fails--
+		}
+	} else {
+		b.n++
+	}
+	b.ring[b.idx] = failed
+	if failed {
+		b.fails++
+	}
+	b.idx = (b.idx + 1) % len(b.ring)
+}
+
+// state judges the current window.
+func (b *breaker) state() breakerState {
+	if b == nil {
+		return breakerOK
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.n < len(b.ring)/2 || b.n == 0 {
+		return breakerOK
+	}
+	rate := float64(b.fails) / float64(b.n)
+	switch {
+	case rate >= b.shedAt:
+		return breakerShed
+	case rate >= b.degradeAt:
+		return breakerDegrade
+	}
+	return breakerOK
+}
+
+// failureRate reports the windowed failure fraction (0 with no
+// samples).
+func (b *breaker) failureRate() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.n == 0 {
+		return 0
+	}
+	return float64(b.fails) / float64(b.n)
+}

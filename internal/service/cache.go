@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"encoding/json"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -12,7 +13,15 @@ import (
 	"time"
 
 	"panorama/internal/core"
+	"panorama/internal/obs"
 )
+
+// mCacheLoadSkipped counts persisted entries the cache refused to load:
+// unreadable files, corrupt or foreign content, and files whose name no
+// longer matches the fingerprint inside. Silent skips hid operator
+// errors (a bad volume, a truncating copy); now they're visible.
+var mCacheLoadSkipped = obs.NewCounter("panorama_cache_load_skipped_total",
+	"Persisted cache entries skipped at load (unreadable, corrupt, or foreign).")
 
 // Entry is one cached mapping result, addressed by the canonical
 // fingerprint of the computation that produced it (see Key).
@@ -38,6 +47,8 @@ type Cache struct {
 	entries map[string]*list.Element // fingerprint -> lru element holding *Entry
 	lru     *list.List               // front = most recently used
 	dir     string                   // "" = memory only
+
+	loadSkipped int // entries skipped by loadDir (corrupt/foreign/unreadable)
 }
 
 // DefaultCacheSize is the LRU capacity used when a caller passes
@@ -113,6 +124,14 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lru.Len()
+}
+
+// LoadSkipped reports how many persisted entries the load pass refused
+// (corrupt, foreign, or unreadable files).
+func (c *Cache) LoadSkipped() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.loadSkipped
 }
 
 // persist writes the entry to dir atomically: a temp file in the same
@@ -212,17 +231,25 @@ func (c *Cache) loadDir() error {
 	// Insert oldest first so LRU order matches write order. A
 	// fingerprint present in both formats (a directory written by two
 	// builds) keeps only the newer file's content.
+	skip := func(name, why string) {
+		c.loadSkipped++
+		mCacheLoadSkipped.Inc()
+		log.Printf("service: cache: skipping %s: %s", name, why)
+	}
 	for i := len(cands) - 1; i >= 0; i-- {
 		data, err := os.ReadFile(filepath.Join(c.dir, cands[i].name))
 		if err != nil {
+			skip(cands[i].name, err.Error())
 			continue
 		}
 		e, ok := decodeEntry(cands[i].name, data)
 		if !ok {
-			continue // corrupt or foreign file: skip, don't fail startup
+			skip(cands[i].name, "corrupt or foreign content") // don't fail startup
+			continue
 		}
 		if strings.TrimSuffix(cands[i].name, filepath.Ext(cands[i].name)) != e.Fingerprint {
-			continue // renamed/foreign file: the address must match the content
+			skip(cands[i].name, "file name does not match the fingerprint inside")
+			continue
 		}
 		if el, dup := c.entries[e.Fingerprint]; dup {
 			el.Value = &e
@@ -230,6 +257,10 @@ func (c *Cache) loadDir() error {
 			continue
 		}
 		c.entries[e.Fingerprint] = c.lru.PushFront(&e)
+	}
+	if c.loadSkipped > 0 {
+		log.Printf("service: cache: loaded %d entr(ies), skipped %d corrupt/foreign file(s) in %s",
+			c.lru.Len(), c.loadSkipped, c.dir)
 	}
 	return nil
 }

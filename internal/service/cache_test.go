@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -119,6 +120,17 @@ func TestCacheLoadSkipsCorruptAndForeignFiles(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not a cache entry"), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	// A valid entry truncated mid-file — the classic torn write.
+	if err := c.Put(entry("truncated", 5)); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := os.ReadFile(filepath.Join(dir, "truncated.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "truncated.bin"), tb[:len(tb)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
 
 	c2, err := NewCache(8, dir)
 	if err != nil {
@@ -129,6 +141,40 @@ func TestCacheLoadSkipsCorruptAndForeignFiles(t *testing.T) {
 	}
 	if c2.Len() != 1 {
 		t.Fatalf("Len = %d, want 1 (corrupt/foreign files must be skipped)", c2.Len())
+	}
+	// Skips are counted and surfaced: corrupt.json, corrupt.bin,
+	// renamed.bin and the truncated entry. README is never a candidate.
+	if got := c2.LoadSkipped(); got != 4 {
+		t.Fatalf("LoadSkipped = %d, want 4", got)
+	}
+	if c.LoadSkipped() != 0 {
+		t.Fatal("a cache that loaded nothing must report 0 skips")
+	}
+}
+
+// The skip counter is exported as a metric family so operators see
+// silent data loss in the cache directory without reading logs.
+func TestCacheLoadSkippedMetricExported(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "broken.bin"), []byte("PCEN"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Options{CacheDir: dir, Run: func(ctx context.Context, job *Job) (core.Summary, error) {
+		return core.Summary{Success: true}, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	if srv.Cache().LoadSkipped() != 1 {
+		t.Fatalf("LoadSkipped = %d, want 1", srv.Cache().LoadSkipped())
+	}
+	var sb strings.Builder
+	if err := srv.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "# TYPE panorama_cache_load_skipped_total counter") {
+		t.Fatal("panorama_cache_load_skipped_total family missing from /metricsz")
 	}
 }
 

@@ -35,6 +35,8 @@ type JobView struct {
 	Cache       string        `json:"cache,omitempty"` // "hit" or "coalesced"
 	Result      *core.Summary `json:"result,omitempty"`
 	Error       *ErrorInfo    `json:"error,omitempty"`
+	Attempts    int           `json:"attempts,omitempty"`
+	RunMapper   string        `json:"runMapper,omitempty"` // set when degraded below Mapper
 	QueuedMS    float64       `json:"queuedMS,omitempty"`
 	RunMS       float64       `json:"runMS,omitempty"`
 }
@@ -50,6 +52,10 @@ func (j *Job) View() JobView {
 		Seed:        j.Seed,
 		Status:      j.status,
 		Result:      j.summary,
+		Attempts:    j.attempts,
+	}
+	if j.degraded {
+		v.RunMapper = j.runMapper
 	}
 	if j.err != nil {
 		v.Error = &ErrorInfo{
@@ -149,6 +155,10 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		return
 	case errors.Is(err, ErrDraining):
 		httpError(w, http.StatusServiceUnavailable, "draining", err)
+		return
+	case errors.Is(err, ErrShedding):
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.opts.RetryAfter+time.Second-1)/time.Second)))
+		httpError(w, http.StatusServiceUnavailable, "shedding", err)
 		return
 	case err != nil:
 		httpError(w, http.StatusInternalServerError, "internal", err)

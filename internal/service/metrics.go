@@ -32,11 +32,14 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		p("# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
 	}
 
+	gauge("panorama_service_breaker_failure_rate", "Windowed failure fraction behind the service breaker.", st.BreakerFailureRate)
+	gauge("panorama_service_breaker_state", "Service breaker state: 0 ok, 1 degrading admissions, 2 shedding load.", breakerStateValue(st.BreakerState))
 	gauge("panorama_service_cache_entries", "Entries in the result cache.", float64(st.CacheEntries))
 	counter("panorama_service_cache_hits_total", "Submissions served straight from the result cache.", st.CacheHits)
 	counter("panorama_service_cache_misses_total", "Submissions that required a computation.", st.CacheMisses)
 	counter("panorama_service_coalesced_total", "Submissions attached to an identical in-flight job.", st.Coalesced)
 	counter("panorama_service_completed_total", "Executions that returned a clean summary.", st.Completed)
+	counter("panorama_service_degraded_total", "Jobs stepped down to a cheaper mapper (retry ladder or admission breaker).", st.Degraded)
 	gauge("panorama_service_draining", "1 while the server is draining for shutdown, else 0.", b2f(st.Draining))
 	counter("panorama_service_executed_total", "Pipeline executions started.", st.Executed)
 	p("# HELP panorama_service_failed_total Executions that returned an error, by failure class.\n" +
@@ -45,9 +48,14 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	p("panorama_service_failed_total{class=\"cancelled\"} %d\n", st.FailedCancel)
 	p("panorama_service_failed_total{class=\"infeasible\"} %d\n", st.FailedInfeasib)
 	p("panorama_service_failed_total{class=\"other\"} %d\n", st.FailedOther)
+	counter("panorama_service_journal_append_errors_total", "Job lifecycle records the service failed to journal.", st.JournalErrors)
 	gauge("panorama_service_queue_depth", "Jobs waiting behind the running ones.", float64(st.QueueDepth))
+	counter("panorama_service_recovered_total", "Jobs replayed from the journal at startup.", st.Recovered)
 	counter("panorama_service_rejected_total", "Submissions rejected by admission control (429).", st.Rejected)
+	counter("panorama_service_requeued_total", "Jobs a draining server handed back to the journal.", st.Requeued)
+	counter("panorama_service_retried_total", "Failed attempts re-run by the retry ladder.", st.Retried)
 	gauge("panorama_service_running_jobs", "Jobs currently executing.", float64(st.RunningJobs))
+	counter("panorama_service_shed_total", "Submissions refused because the breaker was shedding load.", st.Shed)
 	p("# HELP panorama_service_stage_seconds_total Cumulative per-stage wall time of executed jobs.\n" +
 		"# TYPE panorama_service_stage_seconds_total counter\n")
 	p("panorama_service_stage_seconds_total{stage=\"clustering\"} %g\n", st.ClusteringMS/1000)
@@ -63,6 +71,17 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 func b2f(b bool) float64 {
 	if b {
 		return 1
+	}
+	return 0
+}
+
+// breakerStateValue maps the breaker state name onto its gauge value.
+func breakerStateValue(state string) float64 {
+	switch state {
+	case "degrade":
+		return 1
+	case "shed":
+		return 2
 	}
 	return 0
 }

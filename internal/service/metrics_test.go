@@ -21,17 +21,25 @@ import (
 // renaming or dropping any of these breaks deployed scrape configs and
 // dashboards, so a change here must be deliberate.
 var metricszFamilies = []string{
+	"panorama_service_breaker_failure_rate",
+	"panorama_service_breaker_state",
 	"panorama_service_cache_entries",
 	"panorama_service_cache_hits_total",
 	"panorama_service_cache_misses_total",
 	"panorama_service_coalesced_total",
 	"panorama_service_completed_total",
+	"panorama_service_degraded_total",
 	"panorama_service_draining",
 	"panorama_service_executed_total",
 	"panorama_service_failed_total",
+	"panorama_service_journal_append_errors_total",
 	"panorama_service_queue_depth",
+	"panorama_service_recovered_total",
 	"panorama_service_rejected_total",
+	"panorama_service_requeued_total",
+	"panorama_service_retried_total",
 	"panorama_service_running_jobs",
+	"panorama_service_shed_total",
 	"panorama_service_stage_seconds_total",
 	"panorama_service_submitted_total",
 }

@@ -123,6 +123,16 @@ func (s *Server) resolve(req *Request) (*resolved, error) {
 	}, nil
 }
 
+// withMapper clones the resolved request onto a different mapper,
+// recomputing the fingerprint (a different mapper is a different
+// computation).
+func (r *resolved) withMapper(m string) *resolved {
+	c := *r
+	c.mapper = m
+	c.fingerprint = Key(c.graph, c.arch, m, c.seed, c.budgets)
+	return &c
+}
+
 func validMapper(name string) bool {
 	for _, m := range Mappers {
 		if m == name {

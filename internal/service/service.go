@@ -5,21 +5,28 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"panorama/internal/core"
+	"panorama/internal/failure"
+	"panorama/internal/faultinject"
+	"panorama/internal/journal"
 	"panorama/internal/obs"
 	"panorama/internal/spr"
 	"panorama/internal/ultrafast"
 )
 
 // Admission and lifecycle sentinels, mapped onto HTTP status codes by
-// the handler layer (429 and 503 respectively).
+// the handler layer (429, 503 and 503 + Retry-After respectively).
 var (
 	ErrOverloaded = errors.New("service: queue full")
 	ErrDraining   = errors.New("service: shutting down")
+	// ErrShedding rejects a submission because the circuit breaker's
+	// rolling failure rate crossed Options.BreakerShed.
+	ErrShedding = errors.New("service: shedding load")
 )
 
 // RunFunc executes one mapping job and returns its summary. The
@@ -49,6 +56,38 @@ type Options struct {
 	RetryAfter time.Duration
 	// Run substitutes the job executor (tests, alternative backends).
 	Run RunFunc
+
+	// JournalDir enables the crash-safe job journal: every accepted
+	// job's lifecycle is logged there, and New replays the journal to
+	// re-enqueue jobs a previous process left unfinished. Empty
+	// disables durability (the pre-journal behavior).
+	JournalDir string
+	// JournalSegmentBytes overrides the journal's compaction threshold
+	// (0 = journal.DefaultSegmentBytes); JournalNoSync skips the fsync
+	// per append (tests only).
+	JournalSegmentBytes int64
+	JournalNoSync       bool
+
+	// MaxAttempts bounds executions per job, counting attempts replayed
+	// from the journal, so a poison job gets at most one run per
+	// restart (default 3).
+	MaxAttempts int
+	// RetryBase seeds the exponential retry backoff (default 50ms;
+	// negative disables the sleep entirely).
+	RetryBase time.Duration
+	// WatchdogGrace cancels and retries a run exceeding
+	// Budgets.Total × WatchdogGrace — a stalled worker, since the
+	// pipeline enforces Total itself (default 1.5; negative disables;
+	// jobs with no Total budget are never watched).
+	WatchdogGrace float64
+	// BreakerWindow sizes the rolling window of terminal job outcomes
+	// behind the service breaker (default 16; negative disables).
+	// BreakerDegrade and BreakerShed are the failure-rate fractions at
+	// which new admissions degrade to the cheaper mapper rung
+	// (default 0.5) and are shed with 503 + Retry-After (default 0.8).
+	BreakerWindow  int
+	BreakerDegrade float64
+	BreakerShed    float64
 }
 
 // JobStatus is the lifecycle of a Job.
@@ -60,6 +99,9 @@ const (
 	JobRunning JobStatus = "running"
 	JobDone    JobStatus = "done"
 	JobFailed  JobStatus = "failed"
+	// JobRequeued marks a job a draining server handed back to the
+	// journal instead of executing; the next process re-runs it.
+	JobRequeued JobStatus = "requeue-on-restart"
 )
 
 // Job is one accepted mapping computation. The identity fields are
@@ -83,7 +125,57 @@ type Job struct {
 	started  time.Time
 	finished time.Time
 
-	done chan struct{} // closed when the job reaches done/failed
+	attempts  int    // executions so far (journal-replayed ones included)
+	runMapper string // mapper of the current attempt ("" = Mapper)
+	degraded  bool   // the retry ladder or breaker stepped the mapper down
+
+	done chan struct{} // closed when the job reaches a terminal status
+}
+
+// Attempts returns how many executions the job has consumed,
+// including attempts replayed from the journal after a restart.
+func (j *Job) Attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
+}
+
+// beginAttempt charges one execution and moves the job to running.
+func (j *Job) beginAttempt() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.attempts++
+	j.status = JobRunning
+	if j.started.IsZero() {
+		j.started = time.Now()
+	}
+	return j.attempts
+}
+
+// currentMapper is the mapper the next attempt runs with — Mapper
+// unless the job was degraded to a cheaper rung.
+func (j *Job) currentMapper() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.runMapper != "" {
+		return j.runMapper
+	}
+	return j.Mapper
+}
+
+// isDegraded reports whether the job already stepped down the ladder.
+func (j *Job) isDegraded() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.degraded
+}
+
+// degradeTo steps the job down to mapper m for its next attempt.
+func (j *Job) degradeTo(m string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.runMapper = m
+	j.degraded = true
 }
 
 // Trace returns the observability trace of the job's pipeline run, or
@@ -121,9 +213,11 @@ func (j *Job) Summary() (core.Summary, bool) {
 // Server is the mapping-as-a-service engine, independent of its HTTP
 // skin (http.go) so tests and embedders can drive it directly.
 type Server struct {
-	opts  Options
-	cache *Cache
-	stats stats
+	opts    Options
+	cache   *Cache
+	stats   stats
+	journal *journal.Journal // nil without Options.JournalDir
+	breaker *breaker         // nil when disabled
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -140,6 +234,10 @@ type Server struct {
 }
 
 // New builds and starts a server (its workers run until Shutdown).
+// With Options.JournalDir set it first replays the journal and
+// re-enqueues every job a previous process accepted but never
+// finished — jobs whose result meanwhile sits in the cache resolve
+// without re-running.
 func New(opts Options) (*Server, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = 1
@@ -150,20 +248,68 @@ func New(opts Options) (*Server, error) {
 	if opts.RetryAfter <= 0 {
 		opts.RetryAfter = time.Second
 	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.RetryBase == 0 {
+		opts.RetryBase = 50 * time.Millisecond
+	}
+	if opts.RetryBase < 0 {
+		opts.RetryBase = 0
+	}
+	if opts.WatchdogGrace == 0 {
+		opts.WatchdogGrace = 1.5
+	}
+	if opts.BreakerWindow == 0 {
+		opts.BreakerWindow = 16
+	}
+	if opts.BreakerDegrade <= 0 {
+		opts.BreakerDegrade = 0.5
+	}
+	if opts.BreakerShed <= 0 {
+		opts.BreakerShed = 0.8
+	}
 	cache, err := NewCache(opts.CacheSize, opts.CacheDir)
 	if err != nil {
 		return nil, err
 	}
+	var jn *journal.Journal
+	var pending []journal.Record
+	if opts.JournalDir != "" {
+		jn, err = journal.Open(opts.JournalDir, journal.Options{
+			SegmentBytes: opts.JournalSegmentBytes,
+			NoSync:       opts.JournalNoSync,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pending = jn.Pending()
+	}
+	qsize := opts.QueueSize
+	if len(pending) > qsize {
+		// Recovery must never deadlock on its own queue.
+		qsize = len(pending)
+	}
 	s := &Server{
-		opts:   opts,
-		cache:  cache,
-		jobs:   make(map[string]*Job),
-		flight: make(map[string]*Job),
-		queue:  make(chan *Job, opts.QueueSize),
+		opts:    opts,
+		cache:   cache,
+		journal: jn,
+		jobs:    make(map[string]*Job),
+		flight:  make(map[string]*Job),
+		queue:   make(chan *Job, qsize),
+	}
+	if opts.BreakerWindow > 0 {
+		s.breaker = newBreaker(opts.BreakerWindow, opts.BreakerDegrade, opts.BreakerShed)
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	if s.opts.Run == nil {
 		s.opts.Run = s.runPipeline
+	}
+	if len(pending) > 0 {
+		s.recoverJobs(pending)
+		st := jn.Stats()
+		log.Printf("service: journal: recovered %d job(s) from %d segment(s), %d record(s) replayed, %d torn byte(s) dropped",
+			len(pending), st.Segments, st.Replayed, st.DroppedBytes)
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -175,6 +321,15 @@ func New(opts Options) (*Server, error) {
 		}()
 	}
 	return s, nil
+}
+
+// JournalStats snapshots the job journal's replay and lifetime
+// counters; ok is false when the server runs without a journal.
+func (s *Server) JournalStats() (journal.Stats, bool) {
+	if s.journal == nil {
+		return journal.Stats{}, false
+	}
+	return s.journal.Stats(), true
 }
 
 // Cache exposes the server's result cache (read-mostly: /v1/result,
@@ -189,13 +344,43 @@ type Outcome struct {
 	Coalesced bool
 }
 
-// submit runs admission for a resolved request: cache lookup, then
-// coalescing onto an identical in-flight job, then a bounded enqueue.
+// submit runs admission for a resolved request: cache lookup, breaker
+// check, then coalescing onto an identical in-flight job, then a
+// bounded enqueue. Cache hits are served even while the breaker sheds —
+// they cost nothing and can't fail.
 func (s *Server) submit(req *resolved) (Outcome, error) {
 	if e, ok := s.cache.Get(req.fingerprint); ok {
 		s.stats.submitted.Add(1)
 		s.stats.hits.Add(1)
 		return Outcome{Entry: &e}, nil
+	}
+	switch s.breaker.state() {
+	case breakerShed:
+		s.stats.shed.Add(1)
+		return Outcome{}, ErrShedding
+	case breakerDegrade:
+		if m := DegradeMapper(req.mapper); m != "" {
+			// Serve a worse answer rather than none: admit the job on
+			// the next-cheaper mapper rung (which gets its own
+			// fingerprint — a degraded result must never answer a
+			// later full-strength request).
+			req = req.withMapper(m)
+			s.stats.degraded.Add(1)
+			if e, ok := s.cache.Get(req.fingerprint); ok {
+				s.stats.submitted.Add(1)
+				s.stats.hits.Add(1)
+				return Outcome{Entry: &e}, nil
+			}
+		}
+	}
+
+	var blob []byte
+	if s.journal != nil {
+		var berr error
+		if blob, berr = encodeJobPayload(req); berr != nil {
+			// The job still runs; it just can't be replayed.
+			log.Printf("service: %v", berr)
+		}
 	}
 
 	s.mu.Lock()
@@ -223,6 +408,9 @@ func (s *Server) submit(req *resolved) (Outcome, error) {
 	}
 	s.jobs[job.ID] = job
 	s.flight[job.Fingerprint] = job
+	// The Submitted record goes in before the job can be dequeued so a
+	// worker's Started record never precedes it in the journal.
+	s.jlog(Record{Kind: journal.Submitted, JobID: job.ID, Key: job.Fingerprint, Blob: blob})
 	select {
 	case s.queue <- job:
 	default:
@@ -231,6 +419,7 @@ func (s *Server) submit(req *resolved) (Outcome, error) {
 		delete(s.jobs, job.ID)
 		delete(s.flight, job.Fingerprint)
 		s.mu.Unlock()
+		s.jlog(Record{Kind: journal.Cancelled, JobID: job.ID, Key: job.Fingerprint, Note: "queue full"})
 		s.stats.rejected.Add(1)
 		return Outcome{}, ErrOverloaded
 	}
@@ -248,48 +437,196 @@ func (s *Server) Job(id string) (*Job, bool) {
 	return j, ok
 }
 
-// runJob executes one dequeued job and publishes its outcome.
+// runJob executes one dequeued job through the retry ladder and
+// publishes its outcome. A draining journal-backed server hands
+// still-queued jobs back to the journal instead of executing them;
+// a job whose result already sits in the cache (recovered duplicates,
+// a twin completed on a shared cache dir) resolves without running.
 func (s *Server) runJob(job *Job) {
 	s.running.Add(1)
 	defer s.running.Add(-1)
-	job.mu.Lock()
-	job.status = JobRunning
-	job.started = time.Now()
-	job.mu.Unlock()
-	s.stats.executed.Add(1)
 
-	sum, err := s.opts.Run(s.baseCtx, job)
+	if s.journal != nil && s.isDraining() {
+		s.finishRequeued(job)
+		return
+	}
+	if e, ok := s.cache.Get(job.Fingerprint); ok {
+		s.finishFromCache(job, e)
+		return
+	}
 
+	for {
+		attempt := job.beginAttempt()
+		s.stats.executed.Add(1)
+		s.jlog(Record{Kind: journal.Started, JobID: job.ID, Key: job.Fingerprint,
+			Attempt: attempt, Note: job.currentMapper()})
+
+		sum, err, watchdog := s.runAttempt(job)
+		if err == nil {
+			s.finishDone(job, sum)
+			return
+		}
+		switch retryDecision(err, attempt, s.opts.MaxAttempts, job.currentMapper(), job.isDegraded(), watchdog) {
+		case decideFail:
+			s.finishFailed(job, sum, err)
+			return
+		case decideDegrade:
+			next := DegradeMapper(job.currentMapper())
+			log.Printf("service: job %s attempt %d over budget; degrading to %s", job.ID, attempt, next)
+			job.degradeTo(next)
+			s.stats.degraded.Add(1)
+		default:
+			s.stats.retried.Add(1)
+		}
+		if d := backoff(s.opts.RetryBase, attempt); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-s.baseCtx.Done():
+				t.Stop()
+				s.finishFailed(job, sum, err)
+				return
+			}
+		}
+		if s.journal != nil && s.isDraining() {
+			// The server started draining during the backoff; leave
+			// the retry to the next process.
+			s.finishRequeued(job)
+			return
+		}
+	}
+}
+
+// runAttempt executes one attempt under the watchdog, converting a
+// panicking executor into a PanicError instead of killing the worker.
+// watchdog reports whether the stall watchdog — not the caller —
+// cancelled the run.
+func (s *Server) runAttempt(job *Job) (sum core.Summary, err error, watchdog bool) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	var tripped atomic.Bool
+	if d := s.watchdogDeadline(job); d > 0 {
+		t := time.AfterFunc(d, func() {
+			tripped.Store(true)
+			cancel()
+		})
+		defer t.Stop()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = failure.NewPanic(-1, r, debug.Stack())
+		}
+		watchdog = tripped.Load()
+	}()
+	if ferr := faultinject.Fire(faultinject.SiteServiceRun); ferr != nil {
+		return core.Summary{}, fmt.Errorf("service: run %s: %w", job.ID, ferr), false
+	}
+	sum, err = s.opts.Run(ctx, job)
+	return sum, err, tripped.Load()
+}
+
+// watchdogDeadline is how long an attempt may run before the watchdog
+// cancels it (0 = unwatched).
+func (s *Server) watchdogDeadline(job *Job) time.Duration {
+	if s.opts.WatchdogGrace < 0 || job.Budgets.Total <= 0 {
+		return 0
+	}
+	return time.Duration(float64(job.Budgets.Total) * s.opts.WatchdogGrace)
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// finishDone publishes a successful attempt: cache, journal, breaker,
+// waiters.
+func (s *Server) finishDone(job *Job, sum core.Summary) {
 	job.mu.Lock()
 	job.finished = time.Now()
-	if err != nil {
-		job.status = JobFailed
-		job.err = err
-		if sum.Kernel != "" || len(sum.Stages) > 0 {
-			job.summary = &sum // partial result salvaged by the ladder
-		}
-	} else {
-		job.status = JobDone
-		job.summary = &sum
+	job.status = JobDone
+	job.summary = &sum
+	degraded := job.degraded
+	mapper := job.runMapper
+	job.mu.Unlock()
+	s.stats.completed.Add(1)
+	s.stats.recordStages(sum)
+	key := job.Fingerprint
+	note := ""
+	if degraded {
+		// A degraded run answers a cheaper computation than the one
+		// the fingerprint names; caching it under the original key
+		// would poison future full-strength requests.
+		key = Key(job.req.graph, job.req.arch, mapper, job.Seed, job.Budgets)
+		note = "degraded to " + mapper
+	}
+	if perr := s.cache.Put(Entry{Fingerprint: key, Summary: sum}); perr != nil {
+		// Persistence is best-effort; the in-memory entry serves.
+		log.Printf("service: %v", perr)
+	}
+	s.jlog(Record{Kind: journal.Completed, JobID: job.ID, Key: job.Fingerprint,
+		Attempt: job.Attempts(), Note: note})
+	s.breaker.record(false)
+	s.unregister(job)
+	close(job.done)
+}
+
+// finishFailed publishes a terminal failure (salvaging the partial
+// summary the ladder returned, when there is one).
+func (s *Server) finishFailed(job *Job, sum core.Summary, err error) {
+	job.mu.Lock()
+	job.finished = time.Now()
+	job.status = JobFailed
+	job.err = err
+	if sum.Kernel != "" || len(sum.Stages) > 0 {
+		job.summary = &sum // partial result salvaged by the ladder
 	}
 	job.mu.Unlock()
-
-	if err == nil {
-		s.stats.completed.Add(1)
-		s.stats.recordStages(sum)
-		if perr := s.cache.Put(Entry{Fingerprint: job.Fingerprint, Summary: sum}); perr != nil {
-			// Persistence is best-effort; the in-memory entry serves.
-			log.Printf("service: %v", perr)
-		}
-	} else {
-		s.stats.recordFailure(err)
-		s.stats.recordStages(sum)
-	}
-
-	s.mu.Lock()
-	delete(s.flight, job.Fingerprint)
-	s.mu.Unlock()
+	s.stats.recordFailure(err)
+	s.stats.recordStages(sum)
+	s.jlog(Record{Kind: journal.Failed, JobID: job.ID, Key: job.Fingerprint,
+		Attempt: job.Attempts(), Note: failureClass(err)})
+	s.breaker.record(true)
+	s.unregister(job)
 	close(job.done)
+}
+
+// finishRequeued hands a job back to the journal for the next process.
+func (s *Server) finishRequeued(job *Job) {
+	job.mu.Lock()
+	job.finished = time.Now()
+	job.status = JobRequeued
+	job.mu.Unlock()
+	s.stats.requeued.Add(1)
+	s.jlog(Record{Kind: journal.Requeued, JobID: job.ID, Key: job.Fingerprint,
+		Attempt: job.Attempts(), Note: "draining"})
+	s.unregister(job)
+	close(job.done)
+}
+
+// finishFromCache resolves a job from an existing cache entry without
+// executing it (the breaker sees no sample — nothing ran).
+func (s *Server) finishFromCache(job *Job, e Entry) {
+	job.mu.Lock()
+	job.finished = time.Now()
+	job.status = JobDone
+	job.summary = &e.Summary
+	job.mu.Unlock()
+	s.stats.completed.Add(1)
+	s.jlog(Record{Kind: journal.Completed, JobID: job.ID, Key: job.Fingerprint,
+		Note: "resolved from cache"})
+	s.unregister(job)
+	close(job.done)
+}
+
+// unregister drops the job from the in-flight index.
+func (s *Server) unregister(job *Job) {
+	s.mu.Lock()
+	if s.flight[job.Fingerprint] == job {
+		delete(s.flight, job.Fingerprint)
+	}
+	s.mu.Unlock()
 }
 
 // runPipeline is the default RunFunc: the real Panorama stack, mapper
@@ -299,6 +636,13 @@ func (s *Server) runPipeline(ctx context.Context, job *Job) (core.Summary, error
 	job.mu.Lock()
 	job.trace = tr
 	job.mu.Unlock()
+	// The retry/degrade provenance on the root span: a retried job's
+	// trace says which attempt this is and which rung it ran on.
+	tr.Root().Set("attempt", int64(job.Attempts()))
+	tr.Root().Set("mapper", job.currentMapper())
+	if job.isDegraded() {
+		tr.Root().Set("degraded", "true")
+	}
 	ctx = obs.WithSpan(ctx, tr.Root())
 	defer tr.Root().End()
 
@@ -311,7 +655,7 @@ func (s *Server) runPipeline(ctx context.Context, job *Job) (core.Summary, error
 	}
 	var res *core.Result
 	var err error
-	switch job.Mapper {
+	switch job.currentMapper() {
 	case "pan-spr":
 		res, err = core.MapPanoramaCtx(ctx, req.graph, req.arch, core.SPRLower{Options: spr.Options{Seed: job.Seed}}, cfg)
 	case "pan-ultrafast":
@@ -325,12 +669,12 @@ func (s *Server) runPipeline(ctx context.Context, job *Job) (core.Summary, error
 			defer cancel()
 		}
 		var lower core.Lower = core.SPRLower{Options: spr.Options{Seed: job.Seed}}
-		if job.Mapper == "ultrafast" {
+		if job.currentMapper() == "ultrafast" {
 			lower = core.UltraFastLower{Options: ultrafast.Options{}}
 		}
 		res, err = core.MapBaselineCtx(bctx, req.graph, req.arch, lower)
 	default:
-		return core.Summary{}, fmt.Errorf("unknown mapper %q", job.Mapper)
+		return core.Summary{}, fmt.Errorf("unknown mapper %q", job.currentMapper())
 	}
 	if res == nil {
 		return core.Summary{}, err
@@ -355,12 +699,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.baseCancel()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if s.journal != nil {
+		// The workers have unwound (their terminal records are in), so
+		// the journal can close; jobs it still holds live replay on the
+		// next start.
+		if cerr := s.journal.Close(); cerr != nil {
+			log.Printf("service: journal close: %v", cerr)
+		}
+	}
+	return err
 }

@@ -26,6 +26,13 @@ type stats struct {
 	failedCancelled  atomic.Int64
 	failedOther      atomic.Int64
 
+	retried       atomic.Int64 // attempts re-run by the retry ladder
+	degraded      atomic.Int64 // jobs stepped down to a cheaper mapper
+	shed          atomic.Int64 // submissions refused by the breaker
+	requeued      atomic.Int64 // jobs handed back to the journal on drain
+	recovered     atomic.Int64 // jobs replayed from the journal at startup
+	journalErrors atomic.Int64 // journal appends that failed
+
 	// Cumulative per-stage wall time of executed jobs, from
 	// Result.Provenance (nanoseconds).
 	clusteringNS atomic.Int64
@@ -79,6 +86,18 @@ type Stats struct {
 	FailedCancel   int64   `json:"failedCancelled"`
 	FailedOther    int64   `json:"failedOther"`
 
+	Retried       int64 `json:"retried"`
+	Degraded      int64 `json:"degraded"`
+	Shed          int64 `json:"shed"`
+	Requeued      int64 `json:"requeued"`
+	Recovered     int64 `json:"recovered"`
+	JournalErrors int64 `json:"journalAppendErrors"`
+
+	// BreakerState is "ok", "degrade" or "shed"; BreakerFailureRate is
+	// the windowed failure fraction behind it.
+	BreakerState       string  `json:"breakerState"`
+	BreakerFailureRate float64 `json:"breakerFailureRate"`
+
 	ClusteringMS float64 `json:"stageClusteringMS"`
 	ClusterMapMS float64 `json:"stageClusterMapMS"`
 	LowerMS      float64 `json:"stageLowerMS"`
@@ -90,23 +109,31 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	st := &s.stats
 	out := Stats{
-		Submitted:      st.submitted.Load(),
-		Rejected:       st.rejected.Load(),
-		CacheHits:      st.hits.Load(),
-		CacheMisses:    st.misses.Load(),
-		Coalesced:      st.coalesced.Load(),
-		CacheEntries:   s.cache.Len(),
-		QueueDepth:     len(s.queue),
-		RunningJobs:    int(s.running.Load()),
-		Executed:       st.executed.Load(),
-		Completed:      st.completed.Load(),
-		FailedBudget:   st.failedBudget.Load(),
-		FailedInfeasib: st.failedInfeasible.Load(),
-		FailedCancel:   st.failedCancelled.Load(),
-		FailedOther:    st.failedOther.Load(),
-		ClusteringMS:   float64(st.clusteringNS.Load()) / float64(time.Millisecond),
-		ClusterMapMS:   float64(st.clustermapNS.Load()) / float64(time.Millisecond),
-		LowerMS:        float64(st.lowerNS.Load()) / float64(time.Millisecond),
+		Submitted:          st.submitted.Load(),
+		Rejected:           st.rejected.Load(),
+		CacheHits:          st.hits.Load(),
+		CacheMisses:        st.misses.Load(),
+		Coalesced:          st.coalesced.Load(),
+		CacheEntries:       s.cache.Len(),
+		QueueDepth:         len(s.queue),
+		RunningJobs:        int(s.running.Load()),
+		Executed:           st.executed.Load(),
+		Completed:          st.completed.Load(),
+		FailedBudget:       st.failedBudget.Load(),
+		FailedInfeasib:     st.failedInfeasible.Load(),
+		FailedCancel:       st.failedCancelled.Load(),
+		FailedOther:        st.failedOther.Load(),
+		Retried:            st.retried.Load(),
+		Degraded:           st.degraded.Load(),
+		Shed:               st.shed.Load(),
+		Requeued:           st.requeued.Load(),
+		Recovered:          st.recovered.Load(),
+		JournalErrors:      st.journalErrors.Load(),
+		BreakerState:       s.breaker.state().String(),
+		BreakerFailureRate: s.breaker.failureRate(),
+		ClusteringMS:       float64(st.clusteringNS.Load()) / float64(time.Millisecond),
+		ClusterMapMS:       float64(st.clustermapNS.Load()) / float64(time.Millisecond),
+		LowerMS:            float64(st.lowerNS.Load()) / float64(time.Millisecond),
 	}
 	if n := out.CacheHits + out.CacheMisses; n > 0 {
 		out.CacheHitRate = float64(out.CacheHits) / float64(n)
