@@ -4,14 +4,15 @@ GO ?= go
 # nightly CI job raises it (see .github/workflows/ci.yml).
 FUZZTIME ?= 10s
 
-.PHONY: check build test vet race bench bench-check bench-snapshot check-fault check-service check-journal check-diff check-obs docs fuzz
+.PHONY: check build test vet race bench bench-check bench-snapshot check-fault check-service check-journal check-diff check-obs check-sat docs fuzz
 
 # The repository's verification gate: formatting + godoc contract, vet,
 # build everything, then the full test suite with the race detector
 # (the parallel pipeline and harness paths all run under it), plus the
 # fault-injection matrix, the service-layer contract tests, the
-# crash-safety suite, and the observability overhead guard.
-check: docs vet build race check-fault check-service check-journal check-obs
+# crash-safety suite, the observability overhead guard, and the SAT
+# mapper + portfolio contracts.
+check: docs vet build race check-fault check-service check-journal check-obs check-sat
 
 # The documentation contract: everything gofmt-clean, and every
 # exported symbol in the audited packages carries a doc comment
@@ -21,7 +22,8 @@ docs:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) run ./cmd/doccheck ./internal/core ./internal/dfg ./internal/verify \
-		./internal/service ./internal/failure ./internal/obs ./internal/journal
+		./internal/service ./internal/failure ./internal/obs ./internal/journal \
+		./internal/sat ./internal/satmap
 
 # The observability contracts: span-tree well-formedness under 16
 # concurrent requests, /metricsz exposition-format validity, the
@@ -40,6 +42,16 @@ check-obs:
 check-diff:
 	$(GO) test -race ./internal/difftest/ ./internal/verify/ ./internal/dfgen/
 
+# The SAT mapper and portfolio contracts: the CDCL solver against
+# brute-force enumeration, the CNF encoding + CEGAR loop against the
+# legality oracle, the 200-graph SAT-vs-SPR* differential (SAT II never
+# worse where both succeed), and the portfolio's winner-identity and
+# cancellation semantics — under the race detector.
+check-sat:
+	$(GO) test -race ./internal/sat/ ./internal/satmap/
+	$(GO) test -race -run 'TestDifferentialSAT|TestDifferentialPortfolio' ./internal/difftest/
+	$(GO) test -race -run 'TestPortfolio' ./internal/core/
+
 # Native fuzzing, one budgeted run per target. The committed corpora
 # under */testdata/fuzz seed exploration and replay as regression tests
 # in every ordinary `go test` run; regenerate them with
@@ -47,6 +59,8 @@ check-diff:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzMapSPR -fuzztime $(FUZZTIME) ./internal/spr/
 	$(GO) test -run '^$$' -fuzz FuzzMapUltraFast -fuzztime $(FUZZTIME) ./internal/ultrafast/
+	$(GO) test -run '^$$' -fuzz FuzzSATSolve -fuzztime $(FUZZTIME) ./internal/sat/
+	$(GO) test -run '^$$' -fuzz FuzzSATEncode -fuzztime $(FUZZTIME) ./internal/satmap/
 	$(GO) test -run '^$$' -fuzz FuzzFingerprint -fuzztime $(FUZZTIME) ./internal/dfg/
 	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME) ./internal/dfg/
 	$(GO) test -run '^$$' -fuzz FuzzServiceRequest -fuzztime $(FUZZTIME) ./internal/service/

@@ -1,8 +1,9 @@
 // Command benchmap records one point of the repository's committed
 // performance trajectory: it maps the twelve paper kernels with
-// unguided SPR* on the quick-config 8x8 fabric and writes a
-// BENCH_*.json snapshot (wall time, deterministic search-effort
-// counters, and a mapping hash per kernel).
+// unguided SPR* on the quick-config 8x8 fabric, with SAT* on ~30-node
+// kernel prefixes on 4x4, and with the portfolio racer on the SPR*
+// workload, then writes a BENCH_*.json snapshot (wall time,
+// deterministic search-effort counters, and a mapping hash per row).
 //
 // Snapshots are compared with cmd/benchdiff: the effort counters and
 // mapping hashes are exact functions of the workload and comparable
@@ -61,10 +62,11 @@ func main() {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%-15s %8s %6s %12s %14s\n", "Kernel", "nodes", "II", "wall", "relaxations")
+	fmt.Printf("%-15s %-10s %8s %6s %12s %14s %12s\n",
+		"Kernel", "mapper", "nodes", "II", "wall", "relaxations", "conflicts")
 	for _, k := range snap.Kernels {
-		fmt.Printf("%-15s %8d %6d %12s %14d\n",
-			k.Kernel, k.Nodes, k.II, time.Duration(k.WallNS), k.Relax)
+		fmt.Printf("%-15s %-10s %8d %6d %12s %14d %12d\n",
+			k.Kernel, k.Mapper, k.Nodes, k.II, time.Duration(k.WallNS), k.Relax, k.Conflicts)
 	}
 	fmt.Printf("wrote %s (%d kernels, %d reps, seed %d)\n", path, len(snap.Kernels), snap.Reps, snap.Seed)
 }

@@ -1,5 +1,6 @@
 // Command gencorpus regenerates the committed seed corpora for the
-// native fuzz targets (FuzzMapSPR, FuzzMapUltraFast, FuzzFingerprint,
+// native fuzz targets (FuzzMapSPR, FuzzMapUltraFast, FuzzSATEncode,
+// FuzzSATSolve, FuzzFingerprint, FuzzCodecRoundTrip,
 // FuzzServiceRequest, FuzzJournalReplay). Each entry is written in the
 // `go test fuzz v1`
 // file format under the owning package's testdata/fuzz directory, so
@@ -49,6 +50,25 @@ var requests = []string{
 	`{"kernel":"edn","scale":0.5,"arch":"9x9"}`,
 	`{"kernel":"nope"}`,
 	`{"mapper":"spr"}`,
+	`{"kernel":"fir","arch":"4x4","mapper":"sat","seed":7}`,
+	`{"kernel":"cordic","mapper":"pan-sat","seed":3,"timeoutMS":8000}`,
+	`{"kernel":"fir","scale":0.25,"arch":"8x8","mapper":"portfolio","seed":1,"wait":true}`,
+	`{"kernel":"latnrm","mapper":"pan-portfolio"}`,
+	`{"mapper":"nonesuch"}`,
+}
+
+// cnfEntries seed FuzzSATSolve in its total byte decoding (first byte
+// picks the variable count, then literal bytes with zero terminating a
+// clause): trivially sat units, a direct x ∧ ¬x contradiction, an
+// implication chain forcing propagation, a pigeonhole-style clash that
+// needs real conflict analysis, and an empty-ish input.
+var cnfEntries = [][]byte{
+	{},
+	{3, 2, 4, 0, 3, 5, 0},
+	{1, 4, 0, 5, 0},
+	{11, 2, 5, 9, 0, 3, 4, 0, 7, 8, 11, 0},
+	{7, 3, 4, 0, 5, 6, 0, 7, 8, 0, 9, 10, 0, 3, 5, 7, 9, 0},
+	{5, 2, 0, 3, 6, 0, 7, 10, 0, 11, 0},
 }
 
 func main() {
@@ -64,10 +84,12 @@ func main() {
 	for _, dir := range []string{
 		"internal/spr/testdata/fuzz/FuzzMapSPR",
 		"internal/ultrafast/testdata/fuzz/FuzzMapUltraFast",
+		"internal/satmap/testdata/fuzz/FuzzSATEncode",
 		"internal/dfg/testdata/fuzz/FuzzFingerprint",
 	} {
 		writeCorpus(dir, graphEntries)
 	}
+	writeCorpus("internal/sat/testdata/fuzz/FuzzSATSolve", cnfEntries)
 	// The codec fuzz target reads the input both as generator bytes and
 	// as a binary-codec payload, so its corpus seeds both prongs: the
 	// dfgen entries above plus each graph's canonical binary encoding.

@@ -44,7 +44,7 @@ func run() int {
 		scale      = flag.Float64("scale", 0.25, "kernel scale factor (1.0 = paper size)")
 		archName   = flag.String("arch", "8x8", "target CGRA: 4x4, 8x8, 9x9, 16x16")
 		archFile   = flag.String("arch-file", "", "JSON architecture description (overrides -arch)")
-		mapper     = flag.String("mapper", "pan-spr", "mapper: spr, pan-spr, ultrafast, pan-ultrafast")
+		mapper     = flag.String("mapper", "pan-spr", "mapper: any registered lowerer (spr, ultrafast, sat, portfolio), bare for a baseline run or pan- prefixed for the guided pipeline")
 		seed       = flag.Int64("seed", 1, "random seed")
 		workers    = flag.Int("j", 0, "pipeline worker pool size (0 = one per CPU, 1 = serial); pan mappers only")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the whole mapping, e.g. 30s (0 = unbounded); on expiry the best partial result and the exhausted stage are reported")
@@ -136,24 +136,32 @@ func run() int {
 	start := time.Now()
 	var res *core.Result
 	var sprRes *spr.Result
-	switch *mapper {
-	case "spr":
+	if *mapper == "spr" {
+		// Bare SPR keeps its dedicated path: the artifact flags
+		// (-show-schedule, -verify, -report, -out) need spr.Result's
+		// routed mapping, which the generic Lower interface hides.
 		sprOpts := spr.Options{Seed: *seed}
 		sprRes, err = spr.MapCtx(ctx, g, a, sprOpts)
 		if err == nil {
 			res = &core.Result{Kernel: g.Name, Lower: core.LowerResult{
 				Success: sprRes.Success, MII: sprRes.MII, II: sprRes.II, QoM: sprRes.QoM()}}
 		}
-	case "pan-spr":
-		res, err = core.MapPanoramaCtx(ctx, g, a, core.SPRLower{Options: spr.Options{Seed: *seed}},
-			core.Config{Seed: *seed, RelaxOnFailure: true, Workers: *workers})
-	case "ultrafast":
-		res, err = core.MapBaselineCtx(ctx, g, a, core.UltraFastLower{})
-	case "pan-ultrafast":
-		res, err = core.MapPanoramaCtx(ctx, g, a, core.UltraFastLower{},
-			core.Config{Seed: *seed, RelaxOnFailure: true, Workers: *workers})
-	default:
-		err = fmt.Errorf("unknown mapper %q", *mapper)
+	} else {
+		// Everything else comes from the core lowering registry:
+		// "pan-<name>" runs the guided pipeline, a bare name the
+		// unguided baseline.
+		bare, pan := *mapper, false
+		if len(bare) > 4 && bare[:4] == "pan-" {
+			bare, pan = bare[4:], true
+		}
+		var lower core.Lower
+		lower, err = core.NewLowerByName(bare, *seed)
+		if err == nil && pan {
+			res, err = core.MapPanoramaCtx(ctx, g, a, lower,
+				core.Config{Seed: *seed, RelaxOnFailure: true, Workers: *workers})
+		} else if err == nil {
+			res, err = core.MapBaselineCtx(ctx, g, a, lower)
+		}
 	}
 	if err != nil {
 		if res != nil {
@@ -178,6 +186,9 @@ func run() int {
 	}
 	fmt.Printf("mapped at II=%d (MII %d, QoM %.2f) in %v\n",
 		res.Lower.II, res.Lower.MII, res.Lower.QoM, elapsed.Round(time.Millisecond))
+	if res.Lower.Winner != "" {
+		fmt.Printf("portfolio winner: %s\n", res.Lower.Winner)
+	}
 	if res.Partition != nil {
 		fmt.Printf("clustering: K=%d, Inter-E=%d, Intra-E=%d, IF=%.2f (zeta=%d)\n",
 			res.Partition.K, res.Partition.InterE, res.Partition.IntraE, res.Partition.IF, res.ClusterMap.Zeta1)

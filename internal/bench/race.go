@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"panorama/internal/core"
+)
+
+// raceMemberBudget caps each solo member's wall clock in the race
+// table when the configuration sets no Timeout of its own: SAT* on a
+// full-scale kernel can spend tens of seconds proving nothing, and the
+// table's point is the comparison, not the proof.
+const raceMemberBudget = 10 * time.Second
+
+// RaceRow is one kernel's mapper-race comparison: every default
+// portfolio member run solo under the same wall budget, then the
+// portfolio racing them all. Solo II of 0 with an empty status means
+// the member failed cleanly within budget.
+type RaceRow struct {
+	Kernel string
+	MII    int
+
+	// Solo results, aligned with core.NewPortfolioLower's member order
+	// (spr, ultrafast, sat).
+	Solo []RaceLeg
+
+	Portfolio RaceLeg
+	Winner    string
+	Status    string // "", "timeout" or "fail" for the portfolio run
+}
+
+// RaceLeg is one mapper's result in a race row.
+type RaceLeg struct {
+	Mapper string
+	II     int // 0 = failed
+	Sec    float64
+	Status string // "", "timeout" or "fail"
+}
+
+// raceMembers lists the default portfolio's member names, in race
+// order.
+func raceMembers() []string { return core.DefaultPortfolioMembers() }
+
+// RaceTable runs the portfolio-racing comparison over the
+// configuration's kernels: each member solo, then the concurrent race,
+// all on the configuration's main fabric. One worker-pool task per
+// kernel; each mapper run gets its own wall budget (cfg.Timeout, or
+// raceMemberBudget when unset) so a stuck exact solver surfaces as a
+// "timeout" leg instead of stalling the harness.
+func RaceTable(cfg Config) ([]RaceRow, error) {
+	a := cfg.Arch()
+	budget := cfg.Timeout
+	if budget <= 0 {
+		budget = raceMemberBudget
+	}
+	// The wall budget applies per mapper run, not per kernel: a row is
+	// four runs (three solo legs plus the race), so the harness-level
+	// per-task deadline is disabled and each leg sets its own below.
+	inner := cfg
+	inner.Timeout = 0
+	return mapOrdered(inner, len(cfg.Kernels), func(ctx context.Context, i int) (RaceRow, error) {
+		name := cfg.Kernels[i]
+		g, err := cfg.buildKernel(name)
+		if err != nil {
+			return RaceRow{}, err
+		}
+		if err := g.Freeze(); err != nil {
+			return RaceRow{}, err
+		}
+		row := RaceRow{Kernel: name, MII: a.MII(g)}
+
+		run := func(lower core.Lower) RaceLeg {
+			leg := RaceLeg{Mapper: lower.Name()}
+			lctx, cancel := context.WithTimeout(ctx, budget)
+			defer cancel()
+			t0 := time.Now()
+			res, err := lower.Map(lctx, g, a, nil)
+			leg.Sec = time.Since(t0).Seconds()
+			leg.Status = status(lctx, err)
+			if err == nil && res.Success {
+				leg.II = res.II
+			}
+			return leg
+		}
+
+		for _, m := range raceMembers() {
+			lower, err := core.NewLowerByName(m, cfg.Seed)
+			if err != nil {
+				return RaceRow{}, err
+			}
+			row.Solo = append(row.Solo, run(lower))
+		}
+
+		leg := RaceLeg{Mapper: "portfolio"}
+		lctx, cancel := context.WithTimeout(ctx, budget)
+		defer cancel()
+		t0 := time.Now()
+		res, err := core.NewPortfolioLower(cfg.Seed).Map(lctx, g, a, nil)
+		leg.Sec = time.Since(t0).Seconds()
+		row.Status = status(lctx, err)
+		leg.Status = row.Status
+		if err == nil && res.Success {
+			leg.II = res.II
+			row.Winner = res.Winner
+		}
+		row.Portfolio = leg
+		return row, nil
+	})
+}
+
+// RenderRaceTable formats the race comparison: one column pair (II,
+// wall) per solo member, then the portfolio with its winner and the
+// wall ratio against the fastest successful solo member.
+func RenderRaceTable(rows []RaceRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %4s |", "Kernel", "MII")
+	for _, m := range raceMembers() {
+		fmt.Fprintf(&b, " %10s %8s |", m+"-II", m+"-s")
+	}
+	fmt.Fprintf(&b, " %7s %8s %-10s %8s\n", "race-II", "race-s", "winner", "vs-best")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %4d |", r.Kernel, r.MII)
+		bestSec := 0.0
+		for _, leg := range r.Solo {
+			fmt.Fprintf(&b, " %10s %8.3f |", legII(leg), leg.Sec)
+			if leg.II > 0 && (bestSec == 0 || leg.Sec < bestSec) {
+				bestSec = leg.Sec
+			}
+		}
+		ratio := "-"
+		if bestSec > 0 && r.Portfolio.II > 0 {
+			ratio = fmt.Sprintf("%.2fx", r.Portfolio.Sec/bestSec)
+		}
+		fmt.Fprintf(&b, " %7s %8.3f %-10s %8s\n",
+			legII(r.Portfolio), r.Portfolio.Sec, r.Winner, ratio)
+	}
+	return b.String()
+}
+
+func legII(l RaceLeg) string {
+	if l.II > 0 {
+		return fmt.Sprint(l.II)
+	}
+	if l.Status != "" {
+		return "(" + l.Status + ")"
+	}
+	return "-"
+}

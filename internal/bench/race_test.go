@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRaceTableSmoke runs the mapper race on a two-kernel tiny config
+// and checks the row shape: one leg per portfolio member plus the
+// portfolio leg, a recorded winner when the race succeeds, and a
+// rendering that mentions every member.
+func TestRaceTableSmoke(t *testing.T) {
+	cfg := tiny()
+	cfg.Kernels = []string{"fir", "cordic"}
+	cfg.Timeout = 5 * time.Second
+
+	rows, err := RaceTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cfg.Kernels) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(cfg.Kernels))
+	}
+	for _, r := range rows {
+		if len(r.Solo) != len(raceMembers()) {
+			t.Fatalf("%s: %d solo legs, want %d", r.Kernel, len(r.Solo), len(raceMembers()))
+		}
+		for i, leg := range r.Solo {
+			if leg.Mapper != raceMembers()[i] {
+				t.Fatalf("%s: leg %d mapper %q, want %q", r.Kernel, i, leg.Mapper, raceMembers()[i])
+			}
+		}
+		if r.Portfolio.II > 0 && r.Winner == "" {
+			t.Fatalf("%s: race succeeded with no winner recorded", r.Kernel)
+		}
+		if r.Portfolio.II > 0 && r.MII > r.Portfolio.II {
+			t.Fatalf("%s: race II %d below MII %d", r.Kernel, r.Portfolio.II, r.MII)
+		}
+	}
+
+	out := RenderRaceTable(rows)
+	for _, m := range raceMembers() {
+		if !strings.Contains(out, m+"-II") {
+			t.Fatalf("rendering missing member column %q:\n%s", m, out)
+		}
+	}
+	if !strings.Contains(out, "winner") {
+		t.Fatalf("rendering missing winner column:\n%s", out)
+	}
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"panorama/internal/arch"
+	"panorama/internal/dfg"
+	"panorama/internal/obs"
+	"panorama/internal/satmap"
+	"panorama/internal/spr"
+	"panorama/internal/ultrafast"
+)
+
+// SATLower adapts internal/satmap (the SAT-backed modulo-scheduling
+// mapper) to the Lower interface.
+type SATLower struct {
+	Options satmap.Options
+}
+
+// Name returns "sat".
+func (s SATLower) Name() string { return "sat" }
+
+// Map runs the SAT mapper.
+func (s SATLower) Map(ctx context.Context, d *dfg.Graph, a *arch.CGRA, allowed [][]int) (LowerResult, error) {
+	opts := s.Options
+	opts.AllowedClusters = allowed
+	res, err := satmap.MapCtx(ctx, d, a, opts)
+	if err != nil {
+		return LowerResult{}, err
+	}
+	return LowerResult{Success: res.Success, MII: res.MII, II: res.II, QoM: res.QoM(),
+		Mapping: res.Mapping}, nil
+}
+
+// LowerSpec describes a lower-level mapper in the registry: its wire
+// name, the next rung of the service's degradation ladder, and a
+// factory binding the deterministic seed.
+type LowerSpec struct {
+	// Name is the mapper's registry key ("spr", "ultrafast", "sat",
+	// "portfolio"); the service also accepts it with a "pan-" prefix
+	// for the guided pipeline.
+	Name string
+	// Degrade names the mapper the retry ladder falls back to after a
+	// budget failure; "" means this is the last rung.
+	Degrade string
+	// New constructs the mapper. Construction must be cheap; seed
+	// makes the mapper's search deterministic where it applies.
+	New func(seed int64) Lower
+}
+
+var (
+	lowerMu    sync.RWMutex
+	lowerOrder []string
+	lowerSpecs = map[string]LowerSpec{}
+)
+
+// RegisterLower adds a mapper to the registry. It panics on a
+// duplicate or malformed spec (registration happens at init time, so
+// a bad spec is a programming error).
+func RegisterLower(spec LowerSpec) {
+	if spec.Name == "" || spec.New == nil {
+		panic("core: RegisterLower needs a name and a factory")
+	}
+	lowerMu.Lock()
+	defer lowerMu.Unlock()
+	if _, dup := lowerSpecs[spec.Name]; dup {
+		panic("core: duplicate lower mapper " + spec.Name)
+	}
+	lowerSpecs[spec.Name] = spec
+	lowerOrder = append(lowerOrder, spec.Name)
+}
+
+// LowerNames returns the registered mapper names in registration
+// order (the builtins first, in ladder order).
+func LowerNames() []string {
+	lowerMu.RLock()
+	defer lowerMu.RUnlock()
+	out := make([]string, len(lowerOrder))
+	copy(out, lowerOrder)
+	return out
+}
+
+// LowerSpecOf looks up a registered mapper by name.
+func LowerSpecOf(name string) (LowerSpec, bool) {
+	lowerMu.RLock()
+	defer lowerMu.RUnlock()
+	spec, ok := lowerSpecs[name]
+	return spec, ok
+}
+
+// NewLowerByName constructs a registered mapper; the error lists the
+// valid names for caller-facing diagnostics.
+func NewLowerByName(name string, seed int64) (Lower, error) {
+	spec, ok := LowerSpecOf(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown lower mapper %q (valid: %v)", name, LowerNames())
+	}
+	return spec.New(seed), nil
+}
+
+// DegradeOf returns the next rung of the degradation ladder below
+// name, or "" when there is none (unknown names included).
+func DegradeOf(name string) string {
+	spec, ok := LowerSpecOf(name)
+	if !ok {
+		return ""
+	}
+	return spec.Degrade
+}
+
+func init() {
+	// The builtin ladder: portfolio → spr → ultrafast, with sat
+	// degrading into spr (a SAT budget failure usually means the
+	// instance wants a heuristic, not a bigger budget).
+	RegisterLower(LowerSpec{Name: "spr", Degrade: "ultrafast", New: func(seed int64) Lower {
+		return SPRLower{Options: spr.Options{Seed: seed}}
+	}})
+	RegisterLower(LowerSpec{Name: "ultrafast", Degrade: "", New: func(int64) Lower {
+		return UltraFastLower{Options: ultrafast.Options{}}
+	}})
+	RegisterLower(LowerSpec{Name: "sat", Degrade: "spr", New: func(seed int64) Lower {
+		return SATLower{Options: satmap.Options{Seed: seed}}
+	}})
+	RegisterLower(LowerSpec{Name: "portfolio", Degrade: "spr", New: NewPortfolioLower})
+}
+
+// Portfolio racing metrics; see OBSERVABILITY.md.
+var (
+	mPortfolioRaces = obs.NewCounterVec("panorama_portfolio_races_total",
+		"Portfolio races by outcome (ok, fail, error).", "outcome")
+	mPortfolioWins = obs.NewCounterVec("panorama_portfolio_wins_total",
+		"Portfolio races won, by member mapper.", "mapper")
+	mPortfolioCancelled = obs.NewCounterVec("panorama_portfolio_cancelled_total",
+		"Portfolio members cancelled after another member won, by mapper.", "mapper")
+	mPortfolioMemberMS = obs.NewCounterVec("panorama_portfolio_member_ms_total",
+		"Wall milliseconds spent by portfolio members (winners and cancelled losers alike), by mapper.",
+		"mapper")
+)
+
+// DefaultPortfolioMembers lists the default portfolio's member mapper
+// names, in race order (matching NewPortfolioLower).
+func DefaultPortfolioMembers() []string { return []string{"spr", "ultrafast", "sat"} }
+
+// NewPortfolioLower builds the default racing portfolio: SPR*,
+// UltraFast*, and SAT*, all seeded for determinism.
+func NewPortfolioLower(seed int64) Lower {
+	return PortfolioLower{Lowers: []Lower{
+		SPRLower{Options: spr.Options{Seed: seed}},
+		UltraFastLower{Options: ultrafast.Options{}},
+		SATLower{Options: satmap.Options{Seed: seed}},
+	}}
+}
+
+// PortfolioLower races several lower mappers concurrently: the first
+// feasible mapping wins, the losers are cancelled through the shared
+// context, and their effort is charged to the panorama_portfolio_*
+// metric family. The returned mapping is byte-identical to what the
+// winning mapper would produce running solo with the same seed (each
+// member's search is deterministic; the race only selects among them).
+// Map returns only after every member goroutine has exited, so no
+// work outlives the call.
+type PortfolioLower struct {
+	Lowers []Lower
+}
+
+// Name returns "portfolio".
+func (p PortfolioLower) Name() string { return "portfolio" }
+
+// outcome is one member's finished race leg.
+type outcome struct {
+	idx  int
+	res  LowerResult
+	err  error
+	wall time.Duration
+}
+
+// Map races the portfolio members.
+func (p PortfolioLower) Map(ctx context.Context, d *dfg.Graph, a *arch.CGRA, allowed [][]int) (LowerResult, error) {
+	if len(p.Lowers) == 0 {
+		return LowerResult{}, errors.New("core: empty portfolio")
+	}
+	// Freeze before fanning out: afterwards every dfg accessor is a
+	// pure read, so the members can share the graph without locks.
+	if err := d.Freeze(); err != nil {
+		return LowerResult{}, err
+	}
+	ctx, span := obs.StartSpan(ctx, "portfolio.race")
+	defer span.End()
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	ch := make(chan outcome, len(p.Lowers))
+	var wg sync.WaitGroup
+	for i, lw := range p.Lowers {
+		wg.Add(1)
+		go func(i int, lw Lower) {
+			defer wg.Done()
+			t0 := time.Now()
+			res, err := func() (res LowerResult, err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						err = fmt.Errorf("core: portfolio member %s panicked: %v", lw.Name(), r)
+					}
+				}()
+				return lw.Map(rctx, d, a, allowed)
+			}()
+			ch <- outcome{idx: i, res: res, err: err, wall: time.Since(t0)}
+		}(i, lw)
+	}
+
+	outs := make([]outcome, len(p.Lowers))
+	winner := -1
+	for received := 0; received < len(p.Lowers); received++ {
+		o := <-ch
+		outs[o.idx] = o
+		if winner < 0 && o.err == nil && o.res.Success {
+			winner = o.idx
+			cancel() // losers stop; the loop still drains their outcomes
+		}
+	}
+	wg.Wait() // every member goroutine has exited
+
+	for i := range outs {
+		name := p.Lowers[i].Name()
+		mPortfolioMemberMS.With(name).Add(outs[i].wall.Milliseconds())
+		span.Add("portfolio."+name+".ms", outs[i].wall.Milliseconds())
+		if winner >= 0 && i != winner {
+			mPortfolioCancelled.With(name).Inc()
+		}
+	}
+	if winner >= 0 {
+		name := p.Lowers[winner].Name()
+		mPortfolioRaces.With("ok").Inc()
+		mPortfolioWins.With(name).Inc()
+		res := outs[winner].res
+		res.Winner = name
+		return res, nil
+	}
+	if err := ctx.Err(); err != nil {
+		mPortfolioRaces.With("error").Inc()
+		return LowerResult{}, err
+	}
+	// Nobody produced a mapping and the parent context is alive, so
+	// every member finished on its own. Prefer the first clean
+	// (non-error) failure in member order for a deterministic result;
+	// otherwise propagate the first member's error (it is the primary
+	// mapper, so its budget/infeasibility class drives the retry
+	// ladder).
+	for i := range outs {
+		if outs[i].err == nil {
+			mPortfolioRaces.With("fail").Inc()
+			return outs[i].res, nil
+		}
+	}
+	mPortfolioRaces.With("error").Inc()
+	return LowerResult{}, outs[0].err
+}

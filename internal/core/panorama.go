@@ -45,6 +45,9 @@ type LowerResult struct {
 	MII     int
 	II      int
 	QoM     float64
+	// Winner names the member mapper that produced this result when it
+	// came out of a portfolio race ("" for solo mappers).
+	Winner string
 	// Mapping is the concrete mapping in the legality oracle's
 	// mapper-independent form (nil when the mapper failed), so callers
 	// and the differential harness can verify.Check what the pipeline

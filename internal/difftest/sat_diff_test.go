@@ -1,0 +1,114 @@
+package difftest
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"panorama/internal/arch"
+	"panorama/internal/core"
+	"panorama/internal/dfgen"
+	"panorama/internal/satmap"
+	"panorama/internal/spr"
+)
+
+// TestDifferentialSAT maps every corpus graph with the SAT mapper and
+// checks each success against the legality oracle and the
+// cycle-accurate simulator. A clean failure (budget or size gate) is
+// tolerated; an oracle violation never is. Where both SAT* and SPR*
+// succeed, the exact search must achieve an II no worse than the
+// heuristic's — anything else means the encoding is missing solutions.
+func TestDifferentialSAT(t *testing.T) {
+	a := arch.Preset4x4()
+	var solved, failed int32
+	results := make([]int32, shards) // solved per shard
+	fails := make([]int32, shards)
+	for s := 0; s < shards; s++ {
+		s := s
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			for i := s; i < CorpusSize; i += shards {
+				seed, p := CorpusParams(i)
+				d := dfgen.Generate(seed, p)
+				res, err := satmap.Map(d, a, satmap.Options{Seed: seed})
+				if err != nil {
+					t.Fatalf("corpus %d: %v", i, err)
+				}
+				if !res.Success {
+					fails[s]++
+					continue
+				}
+				results[s]++
+				if res.MII > res.II {
+					t.Errorf("corpus %d: MII %d > II %d", i, res.MII, res.II)
+				}
+				if err := VerifyRouted(d, a, RoutedFromOracle(res.Mapping), nil); err != nil {
+					t.Errorf("corpus %d: %v", i, err)
+				}
+				sres, err := spr.Map(d, a, spr.Options{Seed: seed})
+				if err != nil {
+					t.Fatalf("corpus %d: spr: %v", i, err)
+				}
+				if sres.Success && res.II > sres.II {
+					t.Errorf("corpus %d: SAT II %d worse than SPR* II %d", i, res.II, sres.II)
+				}
+			}
+		})
+	}
+	t.Cleanup(func() {
+		for s := 0; s < shards; s++ {
+			solved += results[s]
+			failed += fails[s]
+		}
+		t.Logf("SAT solved %d/%d corpus graphs (%d clean failures)", solved, CorpusSize, failed)
+		if solved < CorpusSize/2 {
+			t.Errorf("SAT solved only %d/%d corpus graphs; budget or encoding regression", solved, CorpusSize)
+		}
+	})
+}
+
+// TestDifferentialPortfolio races the default portfolio over corpus
+// graphs and pins the selection contract: the winner's mapping must be
+// byte-identical to that member running solo with the same seed, so
+// the race selects among deterministic searches without perturbing
+// them. Run under -race this also exercises the concurrent
+// cancellation paths.
+func TestDifferentialPortfolio(t *testing.T) {
+	a := arch.Preset4x4()
+	for i := 0; i < 40; i++ {
+		idx := i * 5
+		seed, p := CorpusParams(idx)
+		d := dfgen.Generate(seed, p)
+		res, err := core.NewPortfolioLower(seed).Map(context.Background(), d, a, nil)
+		if err != nil {
+			t.Fatalf("corpus %d: %v", idx, err)
+		}
+		if !res.Success {
+			t.Errorf("corpus %d: portfolio failed (MII=%d)", idx, res.MII)
+			continue
+		}
+		if res.Winner == "" {
+			t.Fatalf("corpus %d: success without a winner", idx)
+		}
+		solo, err := core.NewLowerByName(res.Winner, seed)
+		if err != nil {
+			t.Fatalf("corpus %d: %v", idx, err)
+		}
+		sres, err := solo.Map(context.Background(), d, a, nil)
+		if err != nil {
+			t.Fatalf("corpus %d: solo %s: %v", idx, res.Winner, err)
+		}
+		if !sres.Success || sres.II != res.II {
+			t.Errorf("corpus %d: solo %s II %d vs race II %d", idx, res.Winner, sres.II, res.II)
+			continue
+		}
+		if !reflect.DeepEqual(res.Mapping, sres.Mapping) {
+			t.Errorf("corpus %d: race result differs from solo %s at II %d", idx, res.Winner, res.II)
+		}
+		if m := RoutedFromOracle(res.Mapping); m != nil {
+			if err := VerifyRouted(d, a, m, nil); err != nil {
+				t.Errorf("corpus %d: %v", idx, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package sat
+
+import (
+	"context"
+	"testing"
+)
+
+// decodeCNF turns an arbitrary byte string into a small CNF formula:
+// the first byte picks the variable count (1..12), then each byte is a
+// literal (zero terminates the current clause). The decoder is total —
+// every input maps to some formula — so the fuzzer explores formula
+// space rather than format space. Sizes are capped so the brute-force
+// reference stays fast.
+func decodeCNF(data []byte) (nv int, cnf [][]Lit) {
+	if len(data) == 0 {
+		return 1, nil
+	}
+	nv = 1 + int(data[0])%12
+	data = data[1:]
+	var cur []Lit
+	for _, b := range data {
+		if b == 0 {
+			if len(cur) > 0 {
+				cnf = append(cnf, cur)
+				cur = nil
+			}
+			if len(cnf) >= 64 {
+				return nv, cnf
+			}
+			continue
+		}
+		if len(cur) >= 8 {
+			continue
+		}
+		v := int(b>>1)%nv + 1
+		if b&1 == 0 {
+			cur = append(cur, PosLit(v))
+		} else {
+			cur = append(cur, NegLit(v))
+		}
+	}
+	if len(cur) > 0 {
+		cnf = append(cnf, cur)
+	}
+	return nv, cnf
+}
+
+// FuzzSATSolve cross-checks the CDCL solver against exhaustive
+// enumeration on every fuzzer-generated formula: satisfiability must
+// match, SAT models must satisfy the formula, and the search must
+// terminate decisively (no Unknown without a budget).
+func FuzzSATSolve(f *testing.F) {
+	f.Add([]byte{3, 2, 4, 0, 3, 5, 0})
+	f.Add([]byte{1, 2, 0, 3, 0})
+	f.Add([]byte{11, 2, 5, 9, 0, 3, 4, 0, 7, 8, 11, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nv, cnf := decodeCNF(data)
+		s := New(nv, Options{Seed: int64(len(data))})
+		ok := true
+		for _, c := range cnf {
+			if !s.AddClause(c...) {
+				ok = false
+			}
+		}
+		st, err := s.Solve(context.Background())
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if st == StatusUnknown {
+			t.Fatalf("unknown without a conflict budget, cnf=%v", cnf)
+		}
+		if !ok && st != StatusUnsat {
+			t.Fatalf("AddClause said unsat but Solve said %v", st)
+		}
+		want := bruteForceSat(nv, cnf)
+		if (st == StatusSat) != want {
+			t.Fatalf("solver %v, brute force sat=%v, nv=%d cnf=%v", st, want, nv, cnf)
+		}
+		if st == StatusSat && !modelSatisfies(s, cnf) {
+			t.Fatalf("model does not satisfy %v", cnf)
+		}
+	})
+}

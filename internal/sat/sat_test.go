@@ -1,0 +1,330 @@
+package sat
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestTrivialSat(t *testing.T) {
+	s := New(2, Options{})
+	s.AddClause(PosLit(1), PosLit(2))
+	s.AddClause(NegLit(1))
+	st, err := s.Solve(context.Background())
+	if err != nil || st != StatusSat {
+		t.Fatalf("got %v, %v", st, err)
+	}
+	if s.Value(1) || !s.Value(2) {
+		t.Fatalf("model wrong: v1=%v v2=%v", s.Value(1), s.Value(2))
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New(1, Options{})
+	s.AddClause(PosLit(1))
+	if s.AddClause(NegLit(1)) {
+		t.Fatal("expected AddClause to report unsat")
+	}
+	st, err := s.Solve(context.Background())
+	if err != nil || st != StatusUnsat {
+		t.Fatalf("got %v, %v", st, err)
+	}
+}
+
+// TestPigeonhole proves n+1 pigeons do not fit n holes — a classic
+// resolution-hard family that exercises learning and backjumping.
+func TestPigeonhole(t *testing.T) {
+	const holes = 5
+	const pigeons = holes + 1
+	v := func(p, h int) int { return p*holes + h + 1 }
+	s := New(pigeons*holes, Options{})
+	for p := 0; p < pigeons; p++ {
+		var c []Lit
+		for h := 0; h < holes; h++ {
+			c = append(c, PosLit(v(p, h)))
+		}
+		s.AddClause(c...)
+	}
+	for h := 0; h < holes; h++ {
+		for p := 0; p < pigeons; p++ {
+			for q := p + 1; q < pigeons; q++ {
+				s.AddClause(NegLit(v(p, h)), NegLit(v(q, h)))
+			}
+		}
+	}
+	st, err := s.Solve(context.Background())
+	if err != nil || st != StatusUnsat {
+		t.Fatalf("got %v, %v (conflicts=%d)", st, err, s.Stats().Conflicts)
+	}
+	if s.Stats().Conflicts == 0 {
+		t.Fatal("expected a nontrivial search")
+	}
+}
+
+// TestGraphColoringSat checks a satisfiable structured instance: 3-colour
+// a ring of 9 nodes, and validate the decoded colouring.
+func TestGraphColoringSat(t *testing.T) {
+	const n, k = 9, 3
+	v := func(node, col int) int { return node*k + col + 1 }
+	s := New(n*k, Options{Seed: 7})
+	for node := 0; node < n; node++ {
+		var c []Lit
+		for col := 0; col < k; col++ {
+			c = append(c, PosLit(v(node, col)))
+		}
+		s.AddClause(c...)
+		for a := 0; a < k; a++ {
+			for b := a + 1; b < k; b++ {
+				s.AddClause(NegLit(v(node, a)), NegLit(v(node, b)))
+			}
+		}
+	}
+	for node := 0; node < n; node++ {
+		next := (node + 1) % n
+		for col := 0; col < k; col++ {
+			s.AddClause(NegLit(v(node, col)), NegLit(v(next, col)))
+		}
+	}
+	st, err := s.Solve(context.Background())
+	if err != nil || st != StatusSat {
+		t.Fatalf("got %v, %v", st, err)
+	}
+	colour := make([]int, n)
+	for node := 0; node < n; node++ {
+		colour[node] = -1
+		for col := 0; col < k; col++ {
+			if s.Value(v(node, col)) {
+				if colour[node] != -1 {
+					t.Fatalf("node %d has two colours", node)
+				}
+				colour[node] = col
+			}
+		}
+		if colour[node] == -1 {
+			t.Fatalf("node %d uncoloured", node)
+		}
+	}
+	for node := 0; node < n; node++ {
+		if colour[node] == colour[(node+1)%n] {
+			t.Fatalf("edge %d-%d monochromatic", node, (node+1)%n)
+		}
+	}
+}
+
+// TestIncremental solves, adds a blocking clause against the model, and
+// re-solves — the CEGAR loop satmap relies on.
+func TestIncremental(t *testing.T) {
+	const n = 4
+	s := New(n, Options{})
+	var seen [][]bool
+	for {
+		st, err := s.Solve(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st == StatusUnsat {
+			break
+		}
+		model := make([]bool, n+1)
+		var block []Lit
+		for v := 1; v <= n; v++ {
+			model[v] = s.Value(v)
+			if model[v] {
+				block = append(block, NegLit(v))
+			} else {
+				block = append(block, PosLit(v))
+			}
+		}
+		for _, m := range seen {
+			same := true
+			for v := 1; v <= n; v++ {
+				if m[v] != model[v] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatal("model repeated after blocking clause")
+			}
+		}
+		seen = append(seen, model)
+		s.AddClause(block...)
+		if len(seen) > 1<<n {
+			t.Fatal("more models than assignments")
+		}
+	}
+	if len(seen) != 1<<n {
+		t.Fatalf("enumerated %d models, want %d", len(seen), 1<<n)
+	}
+}
+
+func TestConflictBudget(t *testing.T) {
+	s := pigeonholeSolver(7, Options{MaxConflicts: 10})
+	st, err := s.Solve(context.Background())
+	if err != nil || st != StatusUnknown {
+		t.Fatalf("got %v, %v", st, err)
+	}
+	if c := s.Stats().Conflicts; c < 10 {
+		t.Fatalf("stopped after %d conflicts, want >= 10", c)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	s := pigeonholeSolver(9, Options{CancelEvery: 8})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	st, err := s.Solve(ctx)
+	if err == nil {
+		// The instance may solve before the deadline on a fast
+		// machine; only a completed UNSAT proof is acceptable then.
+		if st != StatusUnsat {
+			t.Fatalf("no error but status %v", st)
+		}
+		return
+	}
+	if st != StatusUnknown || err != context.DeadlineExceeded {
+		t.Fatalf("got %v, %v", st, err)
+	}
+}
+
+func pigeonholeSolver(holes int, opts Options) *Solver {
+	pigeons := holes + 1
+	v := func(p, h int) int { return p*holes + h + 1 }
+	s := New(pigeons*holes, opts)
+	for p := 0; p < pigeons; p++ {
+		var c []Lit
+		for h := 0; h < holes; h++ {
+			c = append(c, PosLit(v(p, h)))
+		}
+		s.AddClause(c...)
+	}
+	for h := 0; h < holes; h++ {
+		for p := 0; p < pigeons; p++ {
+			for q := p + 1; q < pigeons; q++ {
+				s.AddClause(NegLit(v(p, h)), NegLit(v(q, h)))
+			}
+		}
+	}
+	return s
+}
+
+// TestDeterminism: identical formula + seed ⇒ identical stats and model;
+// different seeds may differ but must agree on satisfiability.
+func TestDeterminism(t *testing.T) {
+	build := func(seed int64) *Solver {
+		rng := rand.New(rand.NewSource(42))
+		const nv = 60
+		s := New(nv, Options{Seed: seed})
+		for i := 0; i < 240; i++ {
+			var c []Lit
+			for j := 0; j < 3; j++ {
+				v := rng.Intn(nv) + 1
+				if rng.Intn(2) == 0 {
+					c = append(c, PosLit(v))
+				} else {
+					c = append(c, NegLit(v))
+				}
+			}
+			s.AddClause(c...)
+		}
+		return s
+	}
+	a, b := build(3), build(3)
+	stA, _ := a.Solve(context.Background())
+	stB, _ := b.Solve(context.Background())
+	if stA != stB || a.Stats() != b.Stats() {
+		t.Fatalf("nondeterministic: %v/%v stats %+v vs %+v", stA, stB, a.Stats(), b.Stats())
+	}
+	if stA == StatusSat {
+		for v := 1; v <= a.NumVars(); v++ {
+			if a.Value(v) != b.Value(v) {
+				t.Fatalf("models differ at %d", v)
+			}
+		}
+	}
+	c := build(99)
+	stC, _ := c.Solve(context.Background())
+	if stC != stA {
+		t.Fatalf("seed changed satisfiability: %v vs %v", stC, stA)
+	}
+}
+
+// TestRandom3SATAgainstBruteForce cross-checks on many small random
+// instances, including model validity on SAT.
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 400; iter++ {
+		nv := 3 + rng.Intn(9)
+		nc := 1 + rng.Intn(5*nv)
+		cnf := make([][]Lit, 0, nc)
+		for i := 0; i < nc; i++ {
+			width := 1 + rng.Intn(3)
+			var c []Lit
+			for j := 0; j < width; j++ {
+				v := rng.Intn(nv) + 1
+				if rng.Intn(2) == 0 {
+					c = append(c, PosLit(v))
+				} else {
+					c = append(c, NegLit(v))
+				}
+			}
+			cnf = append(cnf, c)
+		}
+		s := New(nv, Options{Seed: int64(iter)})
+		for _, c := range cnf {
+			s.AddClause(c...)
+		}
+		st, err := s.Solve(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceSat(nv, cnf)
+		if (st == StatusSat) != want || st == StatusUnknown {
+			t.Fatalf("iter %d: solver %v, brute force sat=%v, cnf=%v", iter, st, want, cnf)
+		}
+		if st == StatusSat && !modelSatisfies(s, cnf) {
+			t.Fatalf("iter %d: model does not satisfy formula %v", iter, cnf)
+		}
+	}
+}
+
+func bruteForceSat(nv int, cnf [][]Lit) bool {
+	for m := 0; m < 1<<nv; m++ {
+		ok := true
+		for _, c := range cnf {
+			sat := false
+			for _, l := range c {
+				bit := m>>(l.Var()-1)&1 == 1
+				if bit != l.Sign() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func modelSatisfies(s *Solver, cnf [][]Lit) bool {
+	for _, c := range cnf {
+		sat := false
+		for _, l := range c {
+			if s.Value(l.Var()) != l.Sign() {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,33 @@
+package satmap
+
+import "panorama/internal/obs"
+
+// SAT mapper effort metrics, flushed once per II attempt (the solver
+// counts locally; see OBSERVABILITY.md for the inventory).
+var (
+	mMaps = obs.NewCounterVec("panorama_sat_maps_total",
+		"SAT mapper runs by outcome (ok, fail, error).", "outcome")
+	mAttempts = obs.NewCounterVec("panorama_sat_attempts_total",
+		"SAT mapper II attempts by status (sat, unsat, unknown, too-large, route-fail, infeasible, cancelled).",
+		"status")
+	mConflicts = obs.NewCounter("panorama_sat_conflicts_total",
+		"CDCL conflicts across all SAT mapper attempts.")
+	mPropagations = obs.NewCounter("panorama_sat_propagations_total",
+		"CDCL unit propagations across all SAT mapper attempts.")
+	mDecisions = obs.NewCounter("panorama_sat_decisions_total",
+		"CDCL decisions across all SAT mapper attempts.")
+	mRefines = obs.NewCounter("panorama_sat_refines_total",
+		"CEGAR routing-refinement rounds (blocking clauses added after an unroutable model).")
+)
+
+// flushAttempt publishes one attempt's solver effort to the process
+// metrics and the mapping span.
+func flushAttempt(span *obs.Span, at Attempt) {
+	mConflicts.Add(at.Solver.Conflicts)
+	mPropagations.Add(at.Solver.Propagations)
+	mDecisions.Add(at.Solver.Decisions)
+	span.Add("sat.conflicts", at.Solver.Conflicts)
+	span.Add("sat.propagations", at.Solver.Propagations)
+	span.Add("sat.decisions", at.Solver.Decisions)
+	span.Add("sat.refines", int64(at.Refines))
+}

@@ -1,0 +1,297 @@
+package satmap
+
+import (
+	"sort"
+
+	"panorama/internal/dfg"
+	"panorama/internal/mrrg"
+)
+
+// stream identifies one live value on a routing resource, exactly as
+// verify's capacity accounting does: fan-out routes of one value at
+// the same elapsed phase share resources for free; the same value at
+// two phases is two iterations' data live at once.
+type stream struct {
+	src   int // producing DFG node
+	phase int // cycles since production
+}
+
+// extractRoutes routes every DFG edge of a placed and scheduled model
+// over the real MRRG, trying several deterministic edge orders: DFG
+// edge order first, then most-constrained-first (ascending route
+// slack), then descending. Each pass routes greedily with bounded
+// rip-up — a blocked edge may evict the routed edges holding its
+// congestion frontier and send them back to the queue — so an
+// order-sensitive or locally congested model is usually recovered
+// rather than rejected. All expansions are BFS in CSR order and
+// victims are ripped in index order, so the result is deterministic.
+//
+// It reports ok == false when every pass fails. core is then taken
+// from the first (DFG-order) pass: the failed edge's endpoints plus
+// the endpoints of every edge whose resource claims the failed search
+// collided with. The core is a congestion heuristic, not a minimal
+// unsatisfiable subset — blocking it can over-prune (the II may
+// overshoot); it cannot produce an illegal mapping, and it converges
+// orders of magnitude faster than blocking whole models.
+func extractRoutes(d *dfg.Graph, g *mrrg.Graph, ii int, placePE, placeT []int) (routes [][]int32, core []bool, ok bool) {
+	order := make([]int, d.NumEdges())
+	for i := range order {
+		order[i] = i
+	}
+	routes, core, ok = routePass(d, g, ii, placePE, placeT, order)
+	if ok {
+		return routes, nil, true
+	}
+	need := func(e dfg.Edge) int {
+		return placeT[e.To] + e.Dist*ii - placeT[e.From] - d.Nodes[e.From].Op.Latency()
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return need(d.Edges[order[i]]) < need(d.Edges[order[j]])
+	})
+	if r, _, ok := routePass(d, g, ii, placePE, placeT, order); ok {
+		return r, nil, true
+	}
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	if r, _, ok := routePass(d, g, ii, placePE, placeT, order); ok {
+		return r, nil, true
+	}
+	return nil, core, false
+}
+
+// claimRec is one capacity claim a routed edge holds.
+type claimRec struct {
+	node int
+	st   stream
+}
+
+// routePass routes the DFG edges in the given order with verify's
+// exact stream accounting and bounded rip-up: when an edge cannot
+// route, the routed edges claiming the MRRG nodes its search was
+// refused entry to are evicted (their claims released) and appended
+// back to the queue, and the blocked edge retries immediately. The
+// total number of evictions is bounded by ripBudget, so two edges
+// fighting over one wire terminate as a failure instead of a livelock.
+func routePass(d *dfg.Graph, g *mrrg.Graph, ii int, placePE, placeT []int, order []int) (routes [][]int32, core []bool, ok bool) {
+	occ := make(map[int]map[stream]int) // node -> stream -> claim count
+	claims := make([][]claimRec, d.NumEdges())
+	blocked := func(node int, st stream) bool {
+		set := occ[node]
+		if set[st] > 0 {
+			return false // sharing with our own stream is free
+		}
+		return len(set) >= int(g.Cap[node])
+	}
+	claim := func(ei, node int, st stream) {
+		set := occ[node]
+		if set == nil {
+			set = make(map[stream]int)
+			occ[node] = set
+		}
+		set[st]++
+		claims[ei] = append(claims[ei], claimRec{node: node, st: st})
+	}
+	unclaim := func(ei int) {
+		for _, c := range claims[ei] {
+			set := occ[c.node]
+			if set[c.st]--; set[c.st] <= 0 {
+				delete(set, c.st)
+			}
+		}
+		claims[ei] = nil
+		routes[ei] = nil
+	}
+	// blamed returns the routed edges holding claims on any of the
+	// given MRRG nodes, in index order.
+	blamed := func(hits []int32, self int) []int {
+		inHits := make(map[int]bool, len(hits))
+		for _, n := range hits {
+			inHits[int(n)] = true
+		}
+		var out []int
+		for ej := range claims {
+			if ej == self || routes[ej] == nil {
+				continue
+			}
+			for _, c := range claims[ej] {
+				if inHits[c.node] {
+					out = append(out, ej)
+					break
+				}
+			}
+		}
+		return out
+	}
+	congestionCore := func(ei int, hits []int32) []bool {
+		c := make([]bool, d.NumNodes())
+		c[d.Edges[ei].From] = true
+		c[d.Edges[ei].To] = true
+		for _, ej := range blamed(hits, ei) {
+			c[d.Edges[ej].From] = true
+			c[d.Edges[ej].To] = true
+		}
+		return c
+	}
+	fullCore := func() []bool {
+		c := make([]bool, d.NumNodes())
+		for v := range c {
+			c[v] = true
+		}
+		return c
+	}
+
+	routes = make([][]int32, d.NumEdges())
+	queue := append([]int(nil), order...)
+	ripBudget := 4 * len(order)
+	var bfs bfsScratch
+	for qi := 0; qi < len(queue); qi++ {
+		ei := queue[qi]
+		e := d.Edges[ei]
+		depart := placeT[e.From] + d.Nodes[e.From].Op.Latency()
+		need := placeT[e.To] + e.Dist*ii - depart
+		if need < 0 {
+			return nil, fullCore(), false // encoder forbids this; defensive
+		}
+		start := g.ResNode(placePE[e.From], depart)
+		target := g.FUNode(placePE[e.To], placeT[e.To])
+
+	retry:
+		var path []int
+		srcStream := stream{src: e.From, phase: 0}
+		if blocked(start, srcStream) {
+			bfs.blockedAt = append(bfs.blockedAt[:0], int32(start))
+		} else {
+			var routed bool
+			path, routed = bfs.route(g, blocked, e.From, start, target, need)
+			if routed {
+				goto place
+			}
+		}
+		{
+			victims := blamed(bfs.blockedAt, ei)
+			if len(victims) == 0 || ripBudget < len(victims) {
+				return nil, congestionCore(ei, bfs.blockedAt), false
+			}
+			ripBudget -= len(victims)
+			for _, ej := range victims {
+				unclaim(ej)
+			}
+			queue = append(queue, victims...)
+			goto retry
+		}
+
+	place:
+		if need >= ii {
+			// A span of >= II cycles can revisit a modulo resource
+			// (the value would collide with its own next iteration);
+			// BFS states are (node, elapsed) so only this case can.
+			// The collision is the edge's own doing, but which path the
+			// search picked depends on all earlier congestion, so the
+			// only sound core here is the whole model.
+			seen := make(map[int]bool, len(path))
+			for _, s := range path {
+				node := s / (need + 1)
+				if seen[node] {
+					return nil, fullCore(), false
+				}
+				seen[node] = true
+			}
+		}
+		route := make([]int32, len(path))
+		for i, s := range path {
+			node := s / (need + 1)
+			elapsed := s % (need + 1)
+			route[i] = int32(node)
+			if g.Kinds[node] != mrrg.KindFU { // consumer FU pins are per-operand
+				claim(ei, node, stream{src: e.From, phase: elapsed})
+			}
+		}
+		routes[ei] = route
+	}
+	return routes, nil, true
+}
+
+// bfsScratch reuses the per-edge BFS arrays across edges. blockedAt
+// collects the MRRG nodes the last search was refused entry to by the
+// capacity check — the congestion frontier a routing failure is blamed
+// on.
+type bfsScratch struct {
+	parent    []int32
+	queue     []int32
+	blockedAt []int32
+}
+
+// route finds the shortest (in expansions) MRRG path from start to
+// target taking exactly need elapsed cycles, avoiding capacity-blocked
+// states. States are node*(need+1)+elapsed; it returns the state path
+// from start to target inclusive.
+func (b *bfsScratch) route(g *mrrg.Graph, blocked func(int, stream) bool, src, start, target, need int) ([]int, bool) {
+	width := need + 1
+	nStates := g.NumNodes * width
+	if cap(b.parent) < nStates {
+		b.parent = make([]int32, nStates)
+	}
+	parent := b.parent[:nStates]
+	for i := range parent {
+		parent[i] = -1
+	}
+	b.blockedAt = b.blockedAt[:0]
+	startState := start*width + 0
+	targetState := target*width + need
+	parent[startState] = int32(startState)
+	if startState == targetState {
+		return []int{startState}, true
+	}
+	b.queue = b.queue[:0]
+	b.queue = append(b.queue, int32(startState))
+	for qi := 0; qi < len(b.queue); qi++ {
+		cur := int(b.queue[qi])
+		node := cur / width
+		elapsed := cur % width
+		for _, edge := range g.Succs(int32(node)) {
+			next := elapsed
+			if edge.Adv {
+				next++
+				if next > need {
+					continue
+				}
+			}
+			to := int(edge.To)
+			state := to*width + next
+			if parent[state] >= 0 {
+				continue
+			}
+			if edge.ToFU {
+				if state != targetState {
+					continue // foreign FUs are dead ends; early target FUs too
+				}
+				parent[state] = int32(cur)
+				return b.reconstruct(parent, startState, state), true
+			}
+			if blocked(to, stream{src: src, phase: next}) {
+				b.blockedAt = append(b.blockedAt, int32(to))
+				continue
+			}
+			parent[state] = int32(cur)
+			b.queue = append(b.queue, int32(state))
+		}
+	}
+	return nil, false
+}
+
+// reconstruct walks the parent chain back from state to startState.
+func (b *bfsScratch) reconstruct(parent []int32, startState, state int) []int {
+	var rev []int
+	for {
+		rev = append(rev, state)
+		if state == startState {
+			break
+		}
+		state = int(parent[state])
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

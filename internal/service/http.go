@@ -23,6 +23,10 @@ type ErrorInfo struct {
 	Class   string `json:"class"` // budget, cancelled, infeasible, lower-failed, panic, internal
 	Stage   string `json:"stage,omitempty"`
 	Message string `json:"message"`
+	// Valid lists the accepted values when the error is a rejected
+	// enumerated field (class "unknown-mapper": the registered mapper
+	// names).
+	Valid []string `json:"valid,omitempty"`
 }
 
 // JobView is the wire form of a job (POST /v1/map and GET /v1/jobs).
@@ -144,6 +148,13 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.resolve(&req)
 	if err != nil {
+		var um *UnknownMapperError
+		if errors.As(err, &um) {
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"error": ErrorInfo{Class: "unknown-mapper", Message: um.Error(), Valid: um.Valid},
+			})
+			return
+		}
 		httpError(w, http.StatusBadRequest, "bad-request", err)
 		return
 	}

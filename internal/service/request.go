@@ -24,7 +24,7 @@ type Request struct {
 	Arch     string          `json:"arch,omitempty"` // preset: 4x4, 8x8, 9x9, 16x16
 	ArchDesc json.RawMessage `json:"archDesc,omitempty"`
 
-	Mapper    string `json:"mapper,omitempty"` // spr, pan-spr, ultrafast, pan-ultrafast (default pan-spr)
+	Mapper    string `json:"mapper,omitempty"` // any name in Mappers() (default pan-spr)
 	Seed      int64  `json:"seed,omitempty"`
 	TimeoutMS int64  `json:"timeoutMS,omitempty"` // job Budgets.Total override; 0 = server default
 
@@ -34,8 +34,36 @@ type Request struct {
 	Wait bool `json:"wait,omitempty"`
 }
 
-// Mappers lists the accepted Request.Mapper values.
-var Mappers = []string{"spr", "pan-spr", "ultrafast", "pan-ultrafast"}
+// panPrefix marks the guided Panorama pipeline: "pan-spr" runs the
+// full clustering → cluster-mapping → lowering stack with SPR* at the
+// bottom, bare "spr" runs the same lowerer as an unguided baseline.
+const panPrefix = "pan-"
+
+// Mappers lists the accepted Request.Mapper values: every mapper in
+// the core lowering registry, each in its bare (baseline) and "pan-"
+// (guided pipeline) form. The list follows registry order, so new
+// mappers show up here — and in the retry ladder — without any service
+// edits.
+func Mappers() []string {
+	names := core.LowerNames()
+	out := make([]string, 0, 2*len(names))
+	for _, n := range names {
+		out = append(out, n, panPrefix+n)
+	}
+	return out
+}
+
+// UnknownMapperError reports a request naming a mapper outside the
+// registry; Valid carries the accepted names for the 400 response.
+type UnknownMapperError struct {
+	Name  string
+	Valid []string
+}
+
+// Error formats the rejected name and the accepted alternatives.
+func (e *UnknownMapperError) Error() string {
+	return fmt.Sprintf("unknown mapper %q (want one of %v)", e.Name, e.Valid)
+}
 
 // resolved is a fully-validated request: graph and architecture
 // instantiated, mapper checked, budgets decided, fingerprint computed.
@@ -104,7 +132,7 @@ func (s *Server) resolve(req *Request) (*resolved, error) {
 		mapper = "pan-spr"
 	}
 	if !validMapper(mapper) {
-		return nil, fmt.Errorf("unknown mapper %q (want one of %v)", mapper, Mappers)
+		return nil, &UnknownMapperError{Name: mapper, Valid: Mappers()}
 	}
 
 	budgets := s.opts.Budgets
@@ -134,13 +162,21 @@ func (r *resolved) withMapper(m string) *resolved {
 }
 
 func validMapper(name string) bool {
-	for _, m := range Mappers {
-		if m == name {
-			return true
-		}
-	}
-	return false
+	_, ok := core.LowerSpecOf(bareMapper(name))
+	return ok
 }
+
+// bareMapper strips the guided-pipeline prefix: "pan-spr" → "spr".
+func bareMapper(name string) string {
+	if len(name) > len(panPrefix) && name[:len(panPrefix)] == panPrefix {
+		return name[len(panPrefix):]
+	}
+	return name
+}
+
+// guided reports whether name selects the full Panorama pipeline
+// rather than a bare baseline run.
+func guided(name string) bool { return bareMapper(name) != name }
 
 func archPreset(name string) (*arch.CGRA, error) {
 	switch name {

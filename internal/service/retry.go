@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"panorama/internal/core"
 	"panorama/internal/failure"
 )
 
@@ -33,17 +34,21 @@ func (d decision) String() string {
 }
 
 // DegradeMapper returns the next-cheaper rung of the mapper ladder for
-// m, or "" when m is already the cheapest (or unknown). The guided
-// Panorama mappers degrade to their UltraFast* counterparts — the same
-// graph still maps, orders of magnitude faster, at a worse II.
+// m, or "" when m is already the cheapest (or unknown). The ladder is
+// the core lowering registry's: each mapper declares its own degrade
+// target (portfolio → spr → ultrafast, sat → spr), so new mappers slot
+// into the retry policy without edits here. A guided "pan-" mapper
+// degrades to the guided form of its target — the pipeline shape is
+// preserved, only the lowerer gets cheaper.
 func DegradeMapper(m string) string {
-	switch m {
-	case "pan-spr":
-		return "pan-ultrafast"
-	case "spr":
-		return "ultrafast"
+	next := core.DegradeOf(bareMapper(m))
+	if next == "" {
+		return ""
 	}
-	return ""
+	if guided(m) {
+		return panPrefix + next
+	}
+	return next
 }
 
 // retryDecision classifies a failed attempt against the failure

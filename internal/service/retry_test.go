@@ -60,7 +60,13 @@ func TestRetryDecisionTable(t *testing.T) {
 }
 
 func TestDegradeMapperLadder(t *testing.T) {
+	// The ladder comes from the core registry: portfolio → spr →
+	// ultrafast, sat → spr, with "pan-" preserved across the step.
 	for m, want := range map[string]string{
+		"pan-portfolio": "pan-spr",
+		"portfolio":     "spr",
+		"pan-sat":       "pan-spr",
+		"sat":           "spr",
 		"pan-spr":       "pan-ultrafast",
 		"spr":           "ultrafast",
 		"pan-ultrafast": "",
@@ -69,6 +75,16 @@ func TestDegradeMapperLadder(t *testing.T) {
 	} {
 		if got := DegradeMapper(m); got != want {
 			t.Errorf("DegradeMapper(%q) = %q, want %q", m, got, want)
+		}
+	}
+	// Every accepted request mapper must reach the bottom of the ladder
+	// in finitely many steps — a cycle would retry forever.
+	for _, m := range Mappers() {
+		hops := 0
+		for cur := m; cur != ""; cur = DegradeMapper(cur) {
+			if hops++; hops > len(Mappers()) {
+				t.Fatalf("degrade ladder from %q does not terminate", m)
+			}
 		}
 	}
 }

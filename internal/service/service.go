@@ -15,8 +15,6 @@ import (
 	"panorama/internal/faultinject"
 	"panorama/internal/journal"
 	"panorama/internal/obs"
-	"panorama/internal/spr"
-	"panorama/internal/ultrafast"
 )
 
 // Admission and lifecycle sentinels, mapped onto HTTP status codes by
@@ -653,14 +651,18 @@ func (s *Server) runPipeline(ctx context.Context, job *Job) (core.Summary, error
 		Workers:        s.opts.PipelineWorkers,
 		Budgets:        job.Budgets,
 	}
+	// The mapper comes from the core lowering registry; "pan-" selects
+	// the guided pipeline around it, the bare name runs it as a
+	// baseline.
+	name := job.currentMapper()
+	lower, err := core.NewLowerByName(bareMapper(name), job.Seed)
+	if err != nil {
+		return core.Summary{}, err
+	}
 	var res *core.Result
-	var err error
-	switch job.currentMapper() {
-	case "pan-spr":
-		res, err = core.MapPanoramaCtx(ctx, req.graph, req.arch, core.SPRLower{Options: spr.Options{Seed: job.Seed}}, cfg)
-	case "pan-ultrafast":
-		res, err = core.MapPanoramaCtx(ctx, req.graph, req.arch, core.UltraFastLower{Options: ultrafast.Options{}}, cfg)
-	case "spr", "ultrafast":
+	if guided(name) {
+		res, err = core.MapPanoramaCtx(ctx, req.graph, req.arch, lower, cfg)
+	} else {
 		// Baselines take no Config; apply the total budget here.
 		bctx := ctx
 		if job.Budgets.Total > 0 {
@@ -668,13 +670,7 @@ func (s *Server) runPipeline(ctx context.Context, job *Job) (core.Summary, error
 			bctx, cancel = context.WithTimeout(ctx, job.Budgets.Total)
 			defer cancel()
 		}
-		var lower core.Lower = core.SPRLower{Options: spr.Options{Seed: job.Seed}}
-		if job.currentMapper() == "ultrafast" {
-			lower = core.UltraFastLower{Options: ultrafast.Options{}}
-		}
 		res, err = core.MapBaselineCtx(bctx, req.graph, req.arch, lower)
-	default:
-		return core.Summary{}, fmt.Errorf("unknown mapper %q", job.currentMapper())
 	}
 	if res == nil {
 		return core.Summary{}, err
