@@ -4,15 +4,15 @@ GO ?= go
 # nightly CI job raises it (see .github/workflows/ci.yml).
 FUZZTIME ?= 10s
 
-.PHONY: check build test vet race bench bench-check bench-snapshot check-fault check-service check-journal check-diff check-obs check-sat docs fuzz
+.PHONY: check build test vet race bench bench-check bench-snapshot check-fault check-service check-journal check-diff check-obs check-sat check-load docs fuzz
 
 # The repository's verification gate: formatting + godoc contract, vet,
 # build everything, then the full test suite with the race detector
 # (the parallel pipeline and harness paths all run under it), plus the
 # fault-injection matrix, the service-layer contract tests, the
-# crash-safety suite, the observability overhead guard, and the SAT
-# mapper + portfolio contracts.
-check: docs vet build race check-fault check-service check-journal check-obs check-sat
+# crash-safety suite, the observability overhead guard, the SAT
+# mapper + portfolio contracts, and the load/soak SLO suite.
+check: docs vet build race check-fault check-service check-journal check-obs check-sat check-load
 
 # The documentation contract: everything gofmt-clean, and every
 # exported symbol in the audited packages carries a doc comment
@@ -23,7 +23,7 @@ docs:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) run ./cmd/doccheck ./internal/core ./internal/dfg ./internal/verify \
 		./internal/service ./internal/failure ./internal/obs ./internal/journal \
-		./internal/sat ./internal/satmap
+		./internal/sat ./internal/satmap ./internal/loadtest
 
 # The observability contracts: span-tree well-formedness under 16
 # concurrent requests, /metricsz exposition-format validity, the
@@ -81,6 +81,14 @@ check-fault:
 check-service:
 	$(GO) test -race ./internal/service/ ./internal/dfg/
 	$(GO) test -race -run 'TestMapSummaryUsesCache|TestCompareCachedMatchesFresh' ./internal/bench/
+
+# The load/soak SLO suite: ≥200 mixed single/batch/SSE operations
+# open-loop at the real pipeline with zero failures and exactly-once
+# execution per fingerprint, a clean drain + journal replay mid-load
+# with nothing lost or re-run, and the cmd/panoramaload binary built
+# and run multi-process end to end — all under the race detector.
+check-load:
+	$(GO) test -race -run 'TestSoakMixedLoad|TestDrainMidLoad|TestLoadGenerator' ./internal/loadtest/
 
 # The crash-safety suite: journal append/replay/compaction invariants,
 # the torn-tail property, and the service-level chaos tests — hard-drop

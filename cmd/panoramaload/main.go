@@ -1,0 +1,188 @@
+// Command panoramaload is an open-loop load generator for panoramad:
+// it fires a target-qps stream of mixed single/batch/SSE mapping
+// requests (with a linear ramp), drawn deterministically from the
+// kernel suite and random dfgen DFGs, and writes a JSON report with
+// p50/p95/p99 latency per operation class and an error taxonomy.
+//
+// With -procs N the process re-executes itself N times, splits the
+// rate evenly, and merges the children's reports — an open-loop load
+// source that does not serialize on one process's scheduler.
+//
+//	panoramaload -addr http://localhost:8080 -qps 50 -duration 30s \
+//	    -ramp 5s -mix single=70,batch=20,sse=10 -warm 0.5 -out load.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"panorama/internal/loadtest"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://localhost:8080", "base URL of the panoramad to load")
+		qps       = flag.Float64("qps", 20, "steady-state operations per second (split across -procs)")
+		duration  = flag.Duration("duration", 30*time.Second, "total run length, ramp included")
+		ramp      = flag.Duration("ramp", 0, "linear ramp from 0 to the target rate")
+		mixSpec   = flag.String("mix", "single=70,batch=20,sse=10", "operation mix weights")
+		batchSize = flag.Int("batch-size", 4, "items per batch operation")
+		warm      = flag.Float64("warm", 0.5, "probability an item repeats an earlier spec (cache-warm traffic)")
+		dfgRatio  = flag.Float64("dfg", 0.25, "probability a cold item is an inline random DFG (0 disables)")
+		kernelCSV = flag.String("kernels", "", "comma-separated kernel names (default: all)")
+		scale     = flag.Float64("scale", 0.25, "kernel scale factor")
+		archName  = flag.String("arch", "8x8", "architecture preset")
+		mapper    = flag.String("mapper", "pan-spr", "mapper name")
+		seed      = flag.Int64("seed", 1, "workload stream seed")
+		timeoutMS = flag.Int64("timeout-ms", 0, "per-job budget override (0 = server default)")
+		procs     = flag.Int("procs", 1, "generator processes (re-exec fan-out)")
+		out       = flag.String("out", "panoramaload.json", "report output path")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *procs > 1 {
+		if err := runParent(ctx, *procs, *qps, *seed, *out); err != nil {
+			log.Fatalf("panoramaload: %v", err)
+		}
+		return
+	}
+
+	mix, err := loadtest.ParseMix(*mixSpec)
+	if err != nil {
+		log.Fatalf("panoramaload: %v", err)
+	}
+	var kernelList []string
+	if *kernelCSV != "" {
+		kernelList = strings.Split(*kernelCSV, ",")
+	}
+	dfg := *dfgRatio
+	if dfg == 0 {
+		dfg = -1 // flag 0 means "no inline DFGs", not the library default
+	}
+	wl, err := loadtest.NewWorkload(loadtest.WorkloadConfig{
+		Seed:      *seed,
+		Mix:       mix,
+		Kernels:   kernelList,
+		Scale:     *scale,
+		Arch:      *archName,
+		Mapper:    *mapper,
+		WarmRatio: *warm,
+		BatchSize: *batchSize,
+		DFGRatio:  dfg,
+		TimeoutMS: *timeoutMS,
+	})
+	if err != nil {
+		log.Fatalf("panoramaload: %v", err)
+	}
+	report, err := loadtest.Run(ctx, loadtest.RunConfig{
+		BaseURL:  strings.TrimRight(*addr, "/"),
+		QPS:      *qps,
+		Duration: *duration,
+		Ramp:     *ramp,
+		Workload: wl,
+	})
+	if err != nil && report == nil {
+		log.Fatalf("panoramaload: %v", err)
+	}
+	if err := report.WriteFile(*out); err != nil {
+		log.Fatalf("panoramaload: %v", err)
+	}
+	printSummary(report)
+}
+
+// runParent re-executes this binary procs times with the rate split
+// evenly and distinct workload seeds, then merges the children's
+// reports into -out.
+func runParent(ctx context.Context, procs int, qps float64, seed int64, out string) error {
+	dir, err := os.MkdirTemp("", "panoramaload-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	// Forward every explicitly-set flag except the ones the parent
+	// rewrites per child.
+	rewritten := map[string]bool{"procs": true, "out": true, "qps": true, "seed": true}
+	var common []string
+	flag.Visit(func(f *flag.Flag) {
+		if !rewritten[f.Name] {
+			common = append(common, "-"+f.Name+"="+f.Value.String())
+		}
+	})
+
+	outs := make([]string, procs)
+	cmds := make([]*exec.Cmd, procs)
+	for i := 0; i < procs; i++ {
+		outs[i] = filepath.Join(dir, fmt.Sprintf("child-%d.json", i))
+		args := append([]string{
+			"-procs=1",
+			fmt.Sprintf("-qps=%g", qps/float64(procs)),
+			fmt.Sprintf("-seed=%d", seed+int64(i)*7919),
+			"-out=" + outs[i],
+		}, common...)
+		cmd := exec.CommandContext(ctx, self, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("child %d: %w", i, err)
+		}
+		cmds[i] = cmd
+	}
+	var firstErr error
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("child %d: %w", i, err)
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+
+	merged, err := loadtest.ReadReport(outs[0])
+	if err != nil {
+		return err
+	}
+	for _, path := range outs[1:] {
+		child, err := loadtest.ReadReport(path)
+		if err != nil {
+			return err
+		}
+		if err := merged.Merge(child); err != nil {
+			return err
+		}
+	}
+	if err := merged.WriteFile(out); err != nil {
+		return err
+	}
+	printSummary(merged)
+	return nil
+}
+
+func printSummary(r *loadtest.Report) {
+	fmt.Printf("panoramaload: %d sent, %d ok, %d failed, %.1f qps achieved (target %.1f)\n",
+		r.Sent, r.Done, r.Failed, r.AchievedQPS, r.TargetQPS)
+	for _, name := range r.ClassNames() {
+		c := r.Classes[name]
+		fmt.Printf("  %-7s n=%-6d p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms\n",
+			name, c.Count, c.P50MS, c.P95MS, c.P99MS, c.MaxMS)
+	}
+	if len(r.Errors) > 0 {
+		fmt.Printf("  errors: %v\n", r.Errors)
+	}
+}

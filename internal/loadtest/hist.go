@@ -1,0 +1,195 @@
+// Package loadtest drives a live panorama service with an open-loop
+// request stream and reports latency percentiles, throughput and an
+// error taxonomy. It backs both the in-repo soak tests and the
+// cmd/panoramaload generator, so the measurement code the CI asserts
+// against is exactly the code the nightly load run ships.
+package loadtest
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// histSubBits is the log-linear sub-bucket resolution: 16 sub-buckets
+// per power of two, bounding the relative quantile error at ~6% —
+// HDR-histogram style, but fixed-shape so two histograms merge by
+// adding counts.
+const histSubBits = 4
+
+// Hist is a log-linear histogram of non-negative int64 samples
+// (latencies in nanoseconds, here). Values below 2^histSubBits land in
+// unit-width buckets; above, each power-of-two range splits into
+// 2^histSubBits equal sub-buckets. The zero value is ready to use.
+// Hist is not goroutine-safe; callers serialize or merge per-worker
+// copies.
+type Hist struct {
+	// Counts is sparse-serialized by Snapshot; the in-memory form is a
+	// dense slice grown on demand.
+	counts []uint64
+	n      uint64
+	max    uint64
+	sum    float64
+}
+
+// bucketIdx maps a sample to its bucket.
+func bucketIdx(v uint64) int {
+	if v < 1<<histSubBits {
+		return int(v)
+	}
+	e := bits.Len64(v) - 1 // 2^e ≤ v < 2^(e+1)
+	sub := (v >> (uint(e) - histSubBits)) & (1<<histSubBits - 1)
+	return 1<<histSubBits*(e-histSubBits+1) + int(sub)
+}
+
+// bucketMid is the midpoint of bucket idx, the value quantiles report.
+func bucketMid(idx int) uint64 {
+	if idx < 1<<histSubBits {
+		return uint64(idx)
+	}
+	e := idx>>histSubBits + histSubBits - 1
+	sub := uint64(idx & (1<<histSubBits - 1))
+	width := uint64(1) << (uint(e) - histSubBits)
+	lo := (1<<histSubBits + sub) * width
+	return lo + width/2
+}
+
+// Record adds one sample.
+func (h *Hist) Record(v uint64) {
+	idx := bucketIdx(v)
+	if idx >= len(h.counts) {
+		grown := make([]uint64, idx+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[idx]++
+	h.n++
+	h.sum += float64(v)
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count is the number of recorded samples.
+func (h *Hist) Count() uint64 { return h.n }
+
+// Max is the largest recorded sample (exact, not bucketed).
+func (h *Hist) Max() uint64 { return h.max }
+
+// Mean is the arithmetic mean of the samples (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Quantile returns the value at quantile q in [0,1] — the midpoint of
+// the bucket holding the q·n-th sample, except q high enough to land
+// in the last occupied bucket reports the exact max. Returns 0 on an
+// empty histogram.
+func (h *Hist) Quantile(q float64) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.n))
+	if rank >= h.n {
+		rank = h.n - 1
+	}
+	last := 0
+	for i, c := range h.counts {
+		if c > 0 {
+			last = i
+		}
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum > rank {
+			if i == last {
+				return h.max
+			}
+			return bucketMid(i)
+		}
+	}
+	return h.max
+}
+
+// Merge folds other's samples into h. Histograms share a fixed bucket
+// layout, so merging is exact.
+func (h *Hist) Merge(other *Hist) {
+	if other == nil {
+		return
+	}
+	if len(other.counts) > len(h.counts) {
+		grown := make([]uint64, len(other.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// HistBucket is one occupied bucket in a serialized histogram.
+type HistBucket struct {
+	Idx int    `json:"idx"`
+	N   uint64 `json:"n"`
+}
+
+// HistSnapshot is the wire form of a Hist: sparse occupied buckets
+// plus the exact extremes, mergeable across processes.
+type HistSnapshot struct {
+	Buckets []HistBucket `json:"buckets,omitempty"`
+	Count   uint64       `json:"count"`
+	Max     uint64       `json:"max"`
+	Sum     float64      `json:"sum"`
+}
+
+// Snapshot serializes the histogram.
+func (h *Hist) Snapshot() HistSnapshot {
+	s := HistSnapshot{Count: h.n, Max: h.max, Sum: h.sum}
+	for i, c := range h.counts {
+		if c > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{Idx: i, N: c})
+		}
+	}
+	return s
+}
+
+// FromSnapshot rebuilds a histogram from its wire form.
+func FromSnapshot(s HistSnapshot) (*Hist, error) {
+	h := &Hist{n: s.Count, max: s.Max, sum: s.Sum}
+	var total uint64
+	sorted := sort.SliceIsSorted(s.Buckets, func(i, j int) bool { return s.Buckets[i].Idx < s.Buckets[j].Idx })
+	if !sorted {
+		return nil, fmt.Errorf("loadtest: histogram buckets out of order")
+	}
+	for _, b := range s.Buckets {
+		if b.Idx < 0 || b.Idx > 1<<histSubBits*64 {
+			return nil, fmt.Errorf("loadtest: histogram bucket %d out of range", b.Idx)
+		}
+		if b.Idx >= len(h.counts) {
+			grown := make([]uint64, b.Idx+1)
+			copy(grown, h.counts)
+			h.counts = grown
+		}
+		h.counts[b.Idx] += b.N
+		total += b.N
+	}
+	if total != s.Count {
+		return nil, fmt.Errorf("loadtest: histogram count %d disagrees with buckets %d", s.Count, total)
+	}
+	return h, nil
+}

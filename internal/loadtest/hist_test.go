@@ -1,0 +1,116 @@
+package loadtest
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestHistQuantiles(t *testing.T) {
+	h := &Hist{}
+	// 1..10000 µs, uniform: q(p) ≈ p·10000µs within one sub-bucket
+	// (relative error ≤ 1/16 at histSubBits=4).
+	for v := 1; v <= 10000; v++ {
+		h.Record(uint64(v) * uint64(time.Microsecond))
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		got := float64(h.Quantile(q))
+		want := q * 10000 * float64(time.Microsecond)
+		if rel := math.Abs(got-want) / want; rel > 1.0/16+0.01 {
+			t.Errorf("q%.0f = %.0f, want ~%.0f (rel err %.3f)", q*100, got, want, rel)
+		}
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Errorf("q100 = %d, want exact max %d", h.Quantile(1), h.Max())
+	}
+}
+
+func TestHistSnapshotMerge(t *testing.T) {
+	a, b, both := &Hist{}, &Hist{}, &Hist{}
+	for v := uint64(1); v <= 500; v++ {
+		a.Record(v * 1000)
+		both.Record(v * 1000)
+	}
+	for v := uint64(400); v <= 900; v++ {
+		b.Record(v * 7777)
+		both.Record(v * 7777)
+	}
+
+	// Snapshot → FromSnapshot round-trips exactly.
+	ra, err := FromSnapshot(a.Snapshot())
+	if err != nil {
+		t.Fatalf("FromSnapshot: %v", err)
+	}
+	if ra.Count() != a.Count() || ra.Max() != a.Max() || ra.Quantile(0.5) != a.Quantile(0.5) {
+		t.Fatalf("round-trip changed the histogram: %v vs %v", ra, a)
+	}
+
+	// Merging a and b equals recording both streams into one histogram.
+	ra.Merge(b)
+	if ra.Count() != both.Count() || ra.Max() != both.Max() {
+		t.Fatalf("merge count/max: got %d/%d, want %d/%d", ra.Count(), ra.Max(), both.Count(), both.Max())
+	}
+	for _, q := range []float64{0.25, 0.5, 0.9, 0.99} {
+		if ra.Quantile(q) != both.Quantile(q) {
+			t.Errorf("merged q%g = %d, combined q%g = %d", q, ra.Quantile(q), q, both.Quantile(q))
+		}
+	}
+}
+
+func TestFromSnapshotRejectsGarbage(t *testing.T) {
+	bad := HistSnapshot{Buckets: []HistBucket{{Idx: 5, N: 1}, {Idx: 2, N: 1}}, Count: 2}
+	if _, err := FromSnapshot(bad); err == nil {
+		t.Error("unsorted buckets accepted")
+	}
+	bad = HistSnapshot{Buckets: []HistBucket{{Idx: 2, N: 1}}, Count: 7}
+	if _, err := FromSnapshot(bad); err == nil {
+		t.Error("count mismatch accepted")
+	}
+}
+
+func TestArrivalOffsetSchedule(t *testing.T) {
+	// No ramp: arrival n fires at n/qps.
+	if got := arrivalOffset(50, 100, 0); got != 500*time.Millisecond {
+		t.Errorf("flat offset(50, 100qps) = %v, want 500ms", got)
+	}
+	// With a ramp the schedule is monotone and ends at the steady rate:
+	// one extra arrival at steady state is 1/qps later.
+	prev := time.Duration(-1)
+	for n := 0; n < 400; n++ {
+		at := arrivalOffset(n, 100, 2*time.Second)
+		if at <= prev {
+			t.Fatalf("schedule not strictly increasing at n=%d: %v after %v", n, at, prev)
+		}
+		prev = at
+	}
+	d := arrivalOffset(301, 100, 2*time.Second) - arrivalOffset(300, 100, 2*time.Second)
+	if math.Abs(d.Seconds()-0.01) > 1e-9 {
+		t.Errorf("steady-state spacing = %v, want 10ms", d)
+	}
+	// The ramp accumulates qps·r/2 arrivals: the first steady arrival
+	// lands at the ramp boundary.
+	if got := arrivalOffset(100, 100, 2*time.Second); got != 2*time.Second {
+		t.Errorf("ramp boundary arrival at %v, want 2s", got)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("single=70,batch=20,sse=10")
+	if err != nil || m != (Mix{Single: 70, Batch: 20, SSE: 10}) {
+		t.Fatalf("ParseMix: %v %+v", err, m)
+	}
+	if m.String() != "single=70,batch=20,sse=10" {
+		t.Errorf("String() = %q", m.String())
+	}
+	if m, err := ParseMix(""); err != nil || m != (Mix{Single: 1}) {
+		t.Errorf("empty mix: %v %+v", err, m)
+	}
+	for _, bad := range []string{"single", "single=x", "walk=3", "single=0,batch=0,sse=0", "single=-1"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package loadtest
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestLoadGenerator builds cmd/panoramaload and runs it multi-process
+// against an in-process daemon: the end-to-end path an operator uses.
+// It asserts a clean exit, a merged report with the taxonomy empty and
+// percentile digests for every class in the mix.
+func TestLoadGenerator(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "panoramaload")
+	build := exec.Command("go", "build", "-o", bin, "panorama/cmd/panoramaload")
+	build.Dir = repoRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build cmd/panoramaload: %v\n%s", err, out)
+	}
+
+	h, err := NewHarness(soakOptions())
+	if err != nil {
+		t.Fatalf("NewHarness: %v", err)
+	}
+	defer h.Close(context.Background())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	report := filepath.Join(dir, "report.json")
+	cmd := exec.CommandContext(ctx, bin,
+		"-addr", h.URL(),
+		"-qps", "60",
+		"-duration", "1500ms",
+		"-ramp", "200ms",
+		"-mix", "single=60,batch=25,sse=15",
+		"-warm", "0.5",
+		"-dfg", "0",
+		"-scale", "0.1",
+		"-mapper", "ultrafast",
+		"-seed", "7",
+		"-procs", "2",
+		"-out", report,
+	)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("panoramaload: %v\n%s", err, out)
+	}
+
+	r, err := ReadReport(report)
+	if err != nil {
+		t.Fatalf("ReadReport: %v", err)
+	}
+	if r.SchemaVersion != ReportSchemaVersion {
+		t.Errorf("schemaVersion = %d, want %d", r.SchemaVersion, ReportSchemaVersion)
+	}
+	if r.CreatedAt == "" || r.GoVersion == "" || r.GOOS == "" || r.GOARCH == "" {
+		t.Errorf("report missing provenance: %+v", r)
+	}
+	if r.Procs != 2 {
+		t.Errorf("procs = %d, want 2 (merged child reports)", r.Procs)
+	}
+	if r.Sent == 0 || r.Done != r.Sent || r.Failed != 0 {
+		t.Errorf("sent=%d done=%d failed=%d, want a clean full run", r.Sent, r.Done, r.Failed)
+	}
+	if len(r.Errors) != 0 {
+		t.Errorf("error taxonomy not empty: %v", r.Errors)
+	}
+	for _, kind := range []string{OpSingle, OpBatch, OpSSE} {
+		c := r.Classes[kind]
+		if c == nil || c.Count == 0 {
+			t.Fatalf("merged report missing class %q: %v", kind, r.ClassNames())
+		}
+		if c.P50MS <= 0 || c.P95MS < c.P50MS || c.P99MS < c.P95MS || c.MaxMS < c.P99MS {
+			t.Errorf("class %q percentiles malformed: p50=%g p95=%g p99=%g max=%g",
+				kind, c.P50MS, c.P95MS, c.P99MS, c.MaxMS)
+		}
+		if c.Hist.Count != uint64(c.Count) {
+			t.Errorf("class %q histogram count %d != %d", kind, c.Hist.Count, c.Count)
+		}
+	}
+}
+
+// repoRoot walks up from the package directory to the go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("getwd: %v", err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above package directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,329 @@
+package loadtest
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RunConfig drives one open-loop load run against a live service.
+type RunConfig struct {
+	BaseURL  string
+	QPS      float64       // steady-state operation rate
+	Duration time.Duration // total run length, ramp included
+	Ramp     time.Duration // linear ramp from 0 to QPS (0 = step)
+	Workload *Workload
+	Client   *http.Client // default: http.DefaultClient with 30s timeout
+	// OnOp, when set, observes each completed operation (tests).
+	OnOp func(kind string, err error)
+}
+
+// opResult is one operation's outcome fed back to the collector.
+type opResult struct {
+	kind    string
+	latency time.Duration
+	errKey  string // "" on success
+}
+
+// Run fires operations open-loop — arrivals follow the schedule
+// regardless of how slowly the service answers, as real clients do —
+// and collects the report. The call returns after the last scheduled
+// arrival has completed or ctx is cancelled (in-flight ops are then
+// abandoned at the client timeout).
+func Run(ctx context.Context, cfg RunConfig) (*Report, error) {
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("loadtest: RunConfig.Workload is nil")
+	}
+	if cfg.QPS <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadtest: need positive QPS and Duration")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+
+	results := make(chan opResult, 256)
+	var wg sync.WaitGroup
+	var sent int64
+
+	collectorDone := make(chan struct{})
+	hists := map[string]*Hist{}
+	report := NewReport()
+	report.TargetQPS = cfg.QPS
+	report.DurationSec = cfg.Duration.Seconds()
+	report.RampSec = cfg.Ramp.Seconds()
+	report.Procs = 1
+	report.Mix = cfg.Workload.cfg.Mix.String()
+	go func() {
+		defer close(collectorDone)
+		for r := range results {
+			h := hists[r.kind]
+			if h == nil {
+				h = &Hist{}
+				hists[r.kind] = h
+			}
+			h.Record(uint64(r.latency))
+			if r.errKey == "" {
+				report.Done++
+			} else {
+				report.Failed++
+				report.Errors[r.errKey]++
+			}
+		}
+	}()
+
+	start := time.Now()
+	for n := 0; ; n++ {
+		at := arrivalOffset(n, cfg.QPS, cfg.Ramp)
+		if at > cfg.Duration {
+			break
+		}
+		if d := time.Until(start.Add(at)); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				goto drain
+			}
+		}
+		op := cfg.Workload.Next()
+		sent++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			errKey := runOp(ctx, client, cfg.BaseURL, op)
+			res := opResult{kind: op.Kind, latency: time.Since(t0), errKey: errKey}
+			if cfg.OnOp != nil {
+				var err error
+				if errKey != "" {
+					err = fmt.Errorf("%s", errKey)
+				}
+				cfg.OnOp(op.Kind, err)
+			}
+			results <- res
+		}()
+	}
+drain:
+	wg.Wait()
+	close(results)
+	<-collectorDone
+
+	report.Sent = sent
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		report.AchievedQPS = float64(report.Done+report.Failed) / elapsed
+	}
+	for kind, h := range hists {
+		c := &ClassReport{}
+		finishClass(c, h)
+		report.Classes[kind] = c
+	}
+	return report, ctx.Err()
+}
+
+// arrivalOffset is when the n-th operation (0-based) fires, from the
+// open-loop schedule: the rate climbs linearly from 0 to QPS over the
+// ramp (cumulative arrivals qps·t²/(2·ramp)), then holds. Inverting
+// the cumulative count gives each arrival's time.
+func arrivalOffset(n int, qps float64, ramp time.Duration) time.Duration {
+	k := float64(n)
+	r := ramp.Seconds()
+	if r <= 0 {
+		return time.Duration(k / qps * float64(time.Second))
+	}
+	rampArrivals := qps * r / 2
+	if k < rampArrivals {
+		// qps·t²/(2r) = k  →  t = sqrt(2rk/qps)
+		t := math.Sqrt(2 * r * k / qps)
+		return time.Duration(t * float64(time.Second))
+	}
+	t := r + (k-rampArrivals)/qps
+	return time.Duration(t * float64(time.Second))
+}
+
+// runOp executes one operation and returns its error-taxonomy key
+// ("" on success).
+func runOp(ctx context.Context, client *http.Client, base string, op Op) string {
+	switch op.Kind {
+	case OpSingle:
+		return runSingle(ctx, client, base, op.Items[0], true)
+	case OpBatch:
+		return runBatch(ctx, client, base, op.Items)
+	case OpSSE:
+		return runSSE(ctx, client, base, op.Items[0])
+	}
+	return "bad-op"
+}
+
+// wireError mirrors the service's typed error envelope.
+type wireError struct {
+	Error struct {
+		Class string `json:"class"`
+	} `json:"error"`
+}
+
+// classifyHTTP turns a non-2xx response into a taxonomy key: the typed
+// class when the body carries one, "http-<code>" otherwise.
+func classifyHTTP(status int, body []byte) string {
+	var we wireError
+	if err := json.Unmarshal(body, &we); err == nil && we.Error.Class != "" {
+		return we.Error.Class
+	}
+	// Terminal job failures answer with a JobView whose error holds
+	// the class.
+	var jv struct {
+		Error *struct {
+			Class string `json:"class"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &jv); err == nil && jv.Error != nil && jv.Error.Class != "" {
+		return jv.Error.Class
+	}
+	return fmt.Sprintf("http-%d", status)
+}
+
+func postJSON(ctx context.Context, client *http.Client, url string, payload any) (int, []byte, string) {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return 0, nil, "encode"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, "transport"
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, "transport"
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, "transport"
+	}
+	return resp.StatusCode, data, ""
+}
+
+func runSingle(ctx context.Context, client *http.Client, base string, it Item, wait bool) string {
+	it.Wait = wait
+	status, data, errKey := postJSON(ctx, client, base+"/v1/map", it)
+	if errKey != "" {
+		return errKey
+	}
+	if status != http.StatusOK {
+		return classifyHTTP(status, data)
+	}
+	return ""
+}
+
+func runBatch(ctx context.Context, client *http.Client, base string, items []Item) string {
+	payload := map[string]any{"items": items, "wait": true}
+	status, data, errKey := postJSON(ctx, client, base+"/v1/batch", payload)
+	if errKey != "" {
+		return errKey
+	}
+	if status != http.StatusOK {
+		return classifyHTTP(status, data)
+	}
+	// Partial success: any item-level error fails the op under that
+	// item's class.
+	var bv struct {
+		Items []struct {
+			Error *struct {
+				Class string `json:"class"`
+			} `json:"error"`
+		} `json:"items"`
+	}
+	if err := json.Unmarshal(data, &bv); err != nil {
+		return "decode"
+	}
+	for _, item := range bv.Items {
+		if item.Error != nil {
+			return "item-" + item.Error.Class
+		}
+	}
+	return ""
+}
+
+// runSSE submits without waiting, then follows the job's event stream
+// to its terminal event — the streaming path a dashboard exercises.
+func runSSE(ctx context.Context, client *http.Client, base string, it Item) string {
+	it.Wait = false
+	status, data, errKey := postJSON(ctx, client, base+"/v1/map", it)
+	if errKey != "" {
+		return errKey
+	}
+	var jv struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+		Error  *struct {
+			Class string `json:"class"`
+		} `json:"error"`
+	}
+	switch status {
+	case http.StatusOK:
+		return "" // cache hit, no stream to follow
+	case http.StatusAccepted:
+	default:
+		return classifyHTTP(status, data)
+	}
+	if err := json.Unmarshal(data, &jv); err != nil || jv.ID == "" {
+		return "decode"
+	}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+jv.ID+"/events", nil)
+	if err != nil {
+		return "transport"
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "transport"
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return classifyHTTP(resp.StatusCode, body)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var lastData string
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "data: ") {
+			lastData = line[6:]
+		}
+	}
+	if sc.Err() != nil {
+		return "transport"
+	}
+	var ev struct {
+		Type string `json:"type"`
+		Job  struct {
+			Status string `json:"status"`
+			Error  *struct {
+				Class string `json:"class"`
+			} `json:"error"`
+		} `json:"job"`
+	}
+	if lastData == "" || json.Unmarshal([]byte(lastData), &ev) != nil {
+		return "stream-truncated"
+	}
+	switch ev.Job.Status {
+	case "done":
+		return ""
+	case "failed":
+		if ev.Job.Error != nil {
+			return ev.Job.Error.Class
+		}
+		return "failed"
+	default:
+		return "stream-truncated"
+	}
+}

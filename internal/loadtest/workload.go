@@ -1,0 +1,227 @@
+package loadtest
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+
+	"panorama/internal/dfgen"
+	"panorama/internal/kernels"
+)
+
+// Op kinds in a workload mix.
+const (
+	OpSingle = "single" // POST /v1/map, wait=true
+	OpBatch  = "batch"  // POST /v1/batch, wait=true
+	OpSSE    = "sse"    // POST /v1/map then stream /v1/jobs/{id}/events
+)
+
+// Mix is the relative weight of each operation kind.
+type Mix struct {
+	Single int
+	Batch  int
+	SSE    int
+}
+
+// ParseMix reads a "single=70,batch=20,sse=10" weight spec. Weights
+// are relative, not percentages; omitted kinds weigh 0; an empty spec
+// is all singles.
+func ParseMix(spec string) (Mix, error) {
+	if spec == "" {
+		return Mix{Single: 1}, nil
+	}
+	var m Mix
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return Mix{}, fmt.Errorf("loadtest: bad mix term %q (want kind=weight)", part)
+		}
+		w, err := strconv.Atoi(kv[1])
+		if err != nil || w < 0 {
+			return Mix{}, fmt.Errorf("loadtest: bad mix weight %q", part)
+		}
+		switch kv[0] {
+		case OpSingle:
+			m.Single = w
+		case OpBatch:
+			m.Batch = w
+		case OpSSE:
+			m.SSE = w
+		default:
+			return Mix{}, fmt.Errorf("loadtest: unknown mix kind %q", kv[0])
+		}
+	}
+	if m.Single+m.Batch+m.SSE == 0 {
+		return Mix{}, fmt.Errorf("loadtest: mix %q has zero total weight", spec)
+	}
+	return m, nil
+}
+
+// String renders the mix in ParseMix's format.
+func (m Mix) String() string {
+	return fmt.Sprintf("single=%d,batch=%d,sse=%d", m.Single, m.Batch, m.SSE)
+}
+
+// WorkloadConfig shapes the generated request stream.
+type WorkloadConfig struct {
+	Seed    int64
+	Mix     Mix
+	Kernels []string // kernel names drawn from (default kernels.Names())
+	Scale   float64  // kernel scale factor (default 0.25)
+	Arch    string   // architecture preset (default "8x8")
+	Mapper  string   // mapper name (default "pan-spr")
+	// WarmRatio is the probability an item re-issues a previously
+	// generated spec — hitting the result cache or coalescing onto an
+	// in-flight twin — rather than a cold new computation (default 0,
+	// fully cold).
+	WarmRatio float64
+	// BatchSize is the items per batch op (default 4).
+	BatchSize int
+	// DFGRatio is the probability a cold item carries an inline
+	// dfgen-generated DFG instead of naming a kernel (0 = default
+	// 0.25; negative disables inline DFGs entirely — random graphs
+	// may legitimately be infeasible, which zero-error soaks exclude).
+	DFGRatio float64
+	// TimeoutMS bounds each job (0 = server default).
+	TimeoutMS int64
+}
+
+// Item is one mapping request spec, reusable verbatim so warm traffic
+// re-issues byte-identical bodies (same fingerprint server-side).
+type Item struct {
+	Kernel    string          `json:"kernel,omitempty"`
+	Scale     float64         `json:"scale,omitempty"`
+	DFG       json.RawMessage `json:"dfg,omitempty"`
+	Arch      string          `json:"arch,omitempty"`
+	Mapper    string          `json:"mapper,omitempty"`
+	Seed      int64           `json:"seed,omitempty"`
+	TimeoutMS int64           `json:"timeoutMS,omitempty"`
+	Wait      bool            `json:"wait,omitempty"`
+}
+
+// Op is one scheduled operation.
+type Op struct {
+	Kind  string
+	Items []Item // 1 for single/sse, BatchSize for batch
+}
+
+// Workload deterministically generates the op stream: same seed, same
+// stream. Safe for concurrent Next calls.
+type Workload struct {
+	cfg WorkloadConfig
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	warm     []Item // previously issued items, the warm pool
+	nextSeed int64
+}
+
+// NewWorkload validates the config and builds a generator.
+func NewWorkload(cfg WorkloadConfig) (*Workload, error) {
+	if cfg.Mix.Single+cfg.Mix.Batch+cfg.Mix.SSE == 0 {
+		cfg.Mix.Single = 1
+	}
+	if len(cfg.Kernels) == 0 {
+		cfg.Kernels = kernels.Names()
+	}
+	for _, k := range cfg.Kernels {
+		if _, err := kernels.ByName(k); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 0.25
+	}
+	if cfg.Arch == "" {
+		cfg.Arch = "8x8"
+	}
+	if cfg.Mapper == "" {
+		cfg.Mapper = "pan-spr"
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 4
+	}
+	if cfg.DFGRatio == 0 {
+		cfg.DFGRatio = 0.25
+	}
+	return &Workload{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		nextSeed: cfg.Seed*1_000_000 + 1,
+	}, nil
+}
+
+// coldItem mints a never-before-seen spec: a kernel at a fresh seed,
+// or an inline random DFG.
+func (w *Workload) coldItem() Item {
+	it := Item{
+		Arch:      w.cfg.Arch,
+		Mapper:    w.cfg.Mapper,
+		Seed:      w.nextSeed,
+		TimeoutMS: w.cfg.TimeoutMS,
+	}
+	w.nextSeed++
+	if w.rng.Float64() < w.cfg.DFGRatio {
+		g := dfgen.Generate(it.Seed, dfgen.Params{
+			Nodes:      8 + w.rng.Intn(17),
+			RecDensity: 0.15,
+			MemRatio:   0.2,
+		})
+		data, err := json.Marshal(g)
+		if err != nil {
+			// Generation is in-process and total; fall through to a
+			// kernel item rather than aborting the run.
+			it.Kernel = w.cfg.Kernels[w.rng.Intn(len(w.cfg.Kernels))]
+			it.Scale = w.cfg.Scale
+			return it
+		}
+		it.DFG = data
+		return it
+	}
+	it.Kernel = w.cfg.Kernels[w.rng.Intn(len(w.cfg.Kernels))]
+	it.Scale = w.cfg.Scale
+	return it
+}
+
+// item draws warm or cold per WarmRatio, feeding the warm pool.
+func (w *Workload) item() Item {
+	if len(w.warm) > 0 && w.rng.Float64() < w.cfg.WarmRatio {
+		return w.warm[w.rng.Intn(len(w.warm))]
+	}
+	it := w.coldItem()
+	w.warm = append(w.warm, it)
+	return it
+}
+
+// Issued snapshots every distinct item issued so far (the warm pool),
+// so tests can replay specs against a fresh server and compare.
+func (w *Workload) Issued() []Item {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Item, len(w.warm))
+	copy(out, w.warm)
+	return out
+}
+
+// Next generates the next operation in the stream.
+func (w *Workload) Next() Op {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	total := w.cfg.Mix.Single + w.cfg.Mix.Batch + w.cfg.Mix.SSE
+	pick := w.rng.Intn(total)
+	switch {
+	case pick < w.cfg.Mix.Single:
+		return Op{Kind: OpSingle, Items: []Item{w.item()}}
+	case pick < w.cfg.Mix.Single+w.cfg.Mix.Batch:
+		items := make([]Item, w.cfg.BatchSize)
+		for i := range items {
+			items[i] = w.item()
+		}
+		return Op{Kind: OpBatch, Items: items}
+	default:
+		return Op{Kind: OpSSE, Items: []Item{w.item()}}
+	}
+}

@@ -1,0 +1,449 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"panorama/internal/core"
+	"panorama/internal/journal"
+	"panorama/internal/obs"
+)
+
+// BatchRequest is the POST /v1/batch wire format: many mapping
+// requests admitted (or rejected) as one decision. The top-level
+// Arch/Mapper/TimeoutMS fields are defaults applied to items that
+// leave the corresponding field empty; Wait blocks the response until
+// every admitted item is terminal.
+type BatchRequest struct {
+	Items []Request `json:"items"`
+
+	Arch      string `json:"arch,omitempty"`
+	Mapper    string `json:"mapper,omitempty"`
+	TimeoutMS int64  `json:"timeoutMS,omitempty"`
+	Wait      bool   `json:"wait,omitempty"`
+}
+
+// BatchItemView is the wire form of one batch item's outcome. Cache
+// distinguishes how the item was satisfied without a fresh
+// computation: "hit" (result cache), "coalesced" (attached to a job
+// already in flight before the batch), "dup" (same fingerprint as an
+// earlier item of this batch). Items that failed resolution carry
+// Error and no job.
+type BatchItemView struct {
+	Index       int           `json:"index"`
+	JobID       string        `json:"jobID,omitempty"`
+	Fingerprint string        `json:"fingerprint,omitempty"`
+	Status      JobStatus     `json:"status,omitempty"`
+	Cache       string        `json:"cache,omitempty"`
+	Result      *core.Summary `json:"result,omitempty"`
+	Error       *ErrorInfo    `json:"error,omitempty"`
+}
+
+// BatchView is the wire form of a batch (POST /v1/batch response and
+// the terminal "batch" SSE event).
+type BatchView struct {
+	ID        string          `json:"id"`
+	Items     []BatchItemView `json:"items"`
+	Hits      int             `json:"hits"`
+	Coalesced int             `json:"coalesced"`
+	Dups      int             `json:"dups"`
+	Enqueued  int             `json:"enqueued"`
+	Errors    int             `json:"errors"`
+	Done      bool            `json:"done"`
+}
+
+// Batch is one accepted POST /v1/batch admission: the per-item
+// outcomes plus the admission trace (served by GET /v1/trace/{id}).
+type Batch struct {
+	// ID addresses the batch (GET /v1/batch/{id},
+	// GET /v1/batch/{id}/events, GET /v1/trace/{id}).
+	ID string
+
+	items   []*batchItem
+	trace   *obs.Trace
+	created time.Time
+}
+
+// batchItem is one item's resolution: exactly one of entry (cache
+// hit), job (new/coalesced/dup computation) or err (rejected at
+// resolve time) is set.
+type batchItem struct {
+	fingerprint string
+	cache       string // "", "hit", "coalesced", "dup"
+	entry       *Entry
+	job         *Job
+	err         error
+	errClass    string
+	errValid    []string // accepted values for enumerated-field errors
+}
+
+// itemView snapshots item i for the wire.
+func (b *Batch) itemView(i int) BatchItemView {
+	it := b.items[i]
+	v := BatchItemView{Index: i, Fingerprint: it.fingerprint, Cache: it.cache}
+	switch {
+	case it.err != nil:
+		v.Error = &ErrorInfo{Class: it.errClass, Message: it.err.Error(), Valid: it.errValid}
+	case it.entry != nil:
+		v.Status = JobDone
+		v.Result = &it.entry.Summary
+	case it.job != nil:
+		jv := it.job.View()
+		v.JobID = jv.ID
+		v.Status = jv.Status
+		v.Result = jv.Result
+		v.Error = jv.Error
+	}
+	return v
+}
+
+// View snapshots the whole batch for the wire.
+func (b *Batch) View() BatchView {
+	v := BatchView{ID: b.ID, Items: make([]BatchItemView, len(b.items)), Done: true}
+	for i, it := range b.items {
+		iv := b.itemView(i)
+		v.Items[i] = iv
+		switch it.cache {
+		case "hit":
+			v.Hits++
+		case "coalesced":
+			v.Coalesced++
+		case "dup":
+			v.Dups++
+		}
+		switch {
+		case it.err != nil:
+			v.Errors++
+		case it.job != nil:
+			if it.cache == "" {
+				v.Enqueued++
+			}
+			if !terminalStatus(iv.Status) {
+				v.Done = false
+			}
+		}
+	}
+	return v
+}
+
+// Batch returns a previously accepted batch by id.
+func (s *Server) Batch(id string) (*Batch, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.batches[id]
+	return b, ok
+}
+
+// submitBatch runs one admission decision over the resolved items
+// (nil slots are items the caller already rejected at resolve time).
+// The decision is atomic: either every item that needs a fresh
+// computation fits the queue — and all of them are journaled and
+// enqueued — or nothing is admitted and the whole batch is rejected
+// with ErrOverloaded (ErrShedding/ErrDraining likewise reject it
+// wholesale). Cache hits never reject; identical fingerprints within
+// the batch dedup onto one job; fingerprints already in flight
+// coalesce onto the running job.
+func (s *Server) submitBatch(reqs []*resolved) ([]Outcome, error) {
+	outs := make([]Outcome, len(reqs))
+	type pendingItem struct {
+		i    int
+		req  *resolved
+		blob []byte
+	}
+	var pending []pendingItem
+	for i, req := range reqs {
+		if req == nil {
+			continue
+		}
+		if e, ok := s.cache.Get(req.fingerprint); ok {
+			outs[i] = Outcome{Entry: &e}
+			continue
+		}
+		pending = append(pending, pendingItem{i: i, req: req})
+	}
+
+	if len(pending) > 0 {
+		switch s.breaker.state() {
+		case breakerShed:
+			s.stats.shed.Add(int64(len(pending)))
+			return nil, ErrShedding
+		case breakerDegrade:
+			for k := range pending {
+				req := pending[k].req
+				if m := DegradeMapper(req.mapper); m != "" {
+					req = req.withMapper(m)
+					pending[k].req = req
+					s.stats.degraded.Add(1)
+					if e, ok := s.cache.Get(req.fingerprint); ok {
+						outs[pending[k].i] = Outcome{Entry: &e}
+						pending[k].req = nil
+					}
+				}
+			}
+		}
+	}
+
+	if s.journal != nil {
+		for k := range pending {
+			if pending[k].req == nil {
+				continue
+			}
+			blob, err := encodeJobPayload(pending[k].req)
+			if err != nil {
+				// The job still runs; it just can't be replayed.
+				log.Printf("service: %v", err)
+			}
+			pending[k].blob = blob
+		}
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	// Plan first: how many genuinely new jobs does the batch need once
+	// in-flight coalescing and within-batch dedup are accounted for?
+	newJobs := 0
+	batchFirst := make(map[string]int) // fingerprint → pending index of first occurrence
+	for k := range pending {
+		req := pending[k].req
+		if req == nil {
+			continue
+		}
+		if _, inFlight := s.flight[req.fingerprint]; inFlight {
+			continue
+		}
+		if _, dup := batchFirst[req.fingerprint]; dup {
+			continue
+		}
+		batchFirst[req.fingerprint] = k
+		newJobs++
+	}
+	if free := cap(s.queue) - len(s.queue); newJobs > free {
+		s.mu.Unlock()
+		s.stats.rejected.Add(int64(len(pending)))
+		return nil, ErrOverloaded
+	}
+	created := make(map[string]*Job, newJobs)
+	for k := range pending {
+		req := pending[k].req
+		if req == nil {
+			continue
+		}
+		// The created map first: a job made for an earlier item of this
+		// batch is already in s.flight too, and must read as a
+		// within-batch dup, not a coalesce onto pre-existing work.
+		if job, ok := created[req.fingerprint]; ok {
+			outs[pending[k].i] = Outcome{Job: job, Coalesced: true, Dup: true}
+			continue
+		}
+		if job, ok := s.flight[req.fingerprint]; ok {
+			outs[pending[k].i] = Outcome{Job: job, Coalesced: true}
+			continue
+		}
+		s.nextID++
+		job := &Job{
+			ID:          fmt.Sprintf("job-%06d", s.nextID),
+			Fingerprint: req.fingerprint,
+			Mapper:      req.mapper,
+			Seed:        req.seed,
+			Budgets:     req.budgets,
+			req:         req,
+			status:      JobQueued,
+			created:     time.Now(),
+			done:        make(chan struct{}),
+			events:      newEventLog(),
+		}
+		s.jobs[job.ID] = job
+		s.flight[job.Fingerprint] = job
+		created[req.fingerprint] = job
+		s.jlog(Record{Kind: journal.Submitted, JobID: job.ID, Key: job.Fingerprint, Blob: pending[k].blob})
+		job.emit(JobQueued)
+		s.queue <- job // capacity checked above, never blocks
+		outs[pending[k].i] = Outcome{Job: job}
+	}
+	s.mu.Unlock()
+
+	// Per-item stats, identical buckets to the single-submit path.
+	for i, req := range reqs {
+		if req == nil {
+			continue
+		}
+		s.stats.submitted.Add(1)
+		switch {
+		case outs[i].Entry != nil:
+			s.stats.hits.Add(1)
+		case outs[i].Coalesced:
+			s.stats.coalesced.Add(1)
+		default:
+			s.stats.misses.Add(1)
+		}
+	}
+	return outs, nil
+}
+
+// handleBatch is POST /v1/batch: decode, resolve every item against
+// the top-level defaults, run one admission decision, and answer with
+// the per-item outcomes (200 when nothing is left running, 202
+// otherwise). Item-level resolution failures are partial: they occupy
+// their slot in the response with a typed error while the rest of the
+// batch proceeds.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var breq BatchRequest
+	if !decodeJSONBody(w, r, s.maxBodyBytes(), &breq) {
+		return
+	}
+	if len(breq.Items) == 0 {
+		httpError(w, http.StatusBadRequest, "bad-request", fmt.Errorf("batch has no items"))
+		return
+	}
+	if max := s.maxBatchItems(); len(breq.Items) > max {
+		httpError(w, http.StatusBadRequest, "oversized-batch",
+			fmt.Errorf("batch has %d items, limit %d", len(breq.Items), max))
+		return
+	}
+
+	tr := obs.NewTrace("batch")
+	admit := tr.Root().Child("batch.admit")
+	admit.Set("items", int64(len(breq.Items)))
+
+	items := make([]*batchItem, len(breq.Items))
+	reqs := make([]*resolved, len(breq.Items))
+	for i := range breq.Items {
+		req := breq.Items[i]
+		if req.Arch == "" && len(req.ArchDesc) == 0 {
+			req.Arch = breq.Arch
+		}
+		if req.Mapper == "" {
+			req.Mapper = breq.Mapper
+		}
+		if req.TimeoutMS == 0 {
+			req.TimeoutMS = breq.TimeoutMS
+		}
+		req.Wait = false // batch-level Wait only
+		res, err := s.resolve(&req)
+		if err != nil {
+			it := &batchItem{err: err, errClass: "bad-request"}
+			var um *UnknownMapperError
+			if errors.As(err, &um) {
+				it.errClass = "unknown-mapper"
+				it.errValid = um.Valid
+			}
+			items[i] = it
+			s.stats.batchItemsError.Add(1)
+			continue
+		}
+		reqs[i] = res
+		items[i] = &batchItem{fingerprint: res.fingerprint}
+	}
+
+	s.stats.batchRequests.Add(1)
+	outs, err := s.submitBatch(reqs)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		s.stats.batchRejected.Add(1)
+		admit.Set("rejected", "overloaded")
+		admit.End()
+		w.Header().Set("Retry-After", strconv429(s.retryAfterSeconds()))
+		httpError(w, http.StatusTooManyRequests, "overloaded", err)
+		return
+	case errors.Is(err, ErrDraining):
+		s.stats.batchRejected.Add(1)
+		admit.Set("rejected", "draining")
+		admit.End()
+		httpError(w, http.StatusServiceUnavailable, "draining", err)
+		return
+	case errors.Is(err, ErrShedding):
+		s.stats.batchRejected.Add(1)
+		admit.Set("rejected", "shedding")
+		admit.End()
+		w.Header().Set("Retry-After", strconv429(s.retryAfterSeconds()))
+		httpError(w, http.StatusServiceUnavailable, "shedding", err)
+		return
+	case err != nil:
+		admit.End()
+		httpError(w, http.StatusInternalServerError, "internal", err)
+		return
+	}
+
+	var hits, coalesced, dups, enqueued int64
+	for i := range items {
+		if items[i].err != nil {
+			continue
+		}
+		out := outs[i]
+		switch {
+		case out.Entry != nil:
+			items[i].entry = out.Entry
+			items[i].fingerprint = out.Entry.Fingerprint
+			items[i].cache = "hit"
+			hits++
+		case out.Dup:
+			items[i].job = out.Job
+			items[i].fingerprint = out.Job.Fingerprint
+			items[i].cache = "dup"
+			dups++
+		case out.Coalesced:
+			items[i].job = out.Job
+			items[i].fingerprint = out.Job.Fingerprint
+			items[i].cache = "coalesced"
+			coalesced++
+		default:
+			items[i].job = out.Job
+			items[i].fingerprint = out.Job.Fingerprint
+			enqueued++
+		}
+	}
+	s.stats.batchItemsHit.Add(hits)
+	s.stats.batchItemsCoalesced.Add(coalesced)
+	s.stats.batchItemsDup.Add(dups)
+	s.stats.batchItemsEnqueued.Add(enqueued)
+	admit.Set("hits", hits)
+	admit.Set("coalesced", coalesced)
+	admit.Set("dups", dups)
+	admit.Set("enqueued", enqueued)
+	admit.End()
+
+	b := &Batch{items: items, trace: tr, created: time.Now()}
+	s.mu.Lock()
+	s.nextBatch++
+	b.ID = fmt.Sprintf("batch-%06d", s.nextBatch)
+	s.batches[b.ID] = b
+	s.mu.Unlock()
+
+	if breq.Wait {
+		for _, it := range items {
+			if it.job == nil {
+				continue
+			}
+			select {
+			case <-it.job.Done():
+			case <-r.Context().Done():
+				// The client went away mid-wait; the jobs keep running
+				// and the batch stays pollable/streamable.
+				writeJSON(w, http.StatusAccepted, b.View())
+				return
+			}
+		}
+	}
+	v := b.View()
+	status := http.StatusAccepted
+	if v.Done {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, v)
+}
+
+// handleBatchGet is GET /v1/batch/{id}: the live batch snapshot.
+func (s *Server) handleBatchGet(w http.ResponseWriter, r *http.Request) {
+	b, ok := s.Batch(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "not-found", fmt.Errorf("unknown batch %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, b.View())
+}

@@ -1,0 +1,307 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// marshalEvent renders an SSE payload on a single line (the framing
+// writeSSE uses requires newline-free data).
+func marshalEvent(v any) ([]byte, error) { return json.Marshal(v) }
+
+// Event is one job state transition as streamed by the SSE surface.
+// Seq is the job-scoped event sequence number used as the SSE event
+// id, so a client can resume with Last-Event-ID after a disconnect;
+// the numbering is derived from the same transition points the journal
+// records (one queued event, one running event per execution attempt,
+// one terminal event), which makes it stable across a crash and
+// journal-recovery restart: a reconnecting client never sees a
+// transition twice and never misses the terminal one.
+type Event struct {
+	Seq  int       `json:"seq"`
+	Type JobStatus `json:"type"`
+	Job  JobView   `json:"job"`
+	// Recovered marks events synthesized from the journal on restart
+	// (the transition happened in a previous process).
+	Recovered bool `json:"recovered,omitempty"`
+}
+
+// eventLog is the append-only, replayable record of one job's state
+// transitions. Appends wake every streaming subscriber; reads are
+// cursor-based so a resumed stream replays exactly the missed suffix.
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+	wake   chan struct{} // closed and replaced on every append
+}
+
+func newEventLog() *eventLog { return &eventLog{wake: make(chan struct{})} }
+
+// append records one transition with the next sequence number and
+// wakes subscribers.
+func (l *eventLog) append(typ JobStatus, view JobView) {
+	l.mu.Lock()
+	l.events = append(l.events, Event{Seq: len(l.events) + 1, Type: typ, Job: view})
+	close(l.wake)
+	l.wake = make(chan struct{})
+	l.mu.Unlock()
+}
+
+// seed pre-populates the log with events synthesized from the journal
+// at recovery time, without waking anybody (no subscriber can exist
+// yet — the server is still inside New). The events must carry
+// sequence numbers 1..n so later appends continue the numbering the
+// pre-crash process used.
+func (l *eventLog) seed(evs []Event) {
+	l.mu.Lock()
+	l.events = append(l.events, evs...)
+	l.mu.Unlock()
+}
+
+// since returns a copy of the events with Seq > seq and the wake
+// channel that will be closed on the next append. Callers must grab
+// the channel from the same call that saw no new events, or they can
+// miss a wakeup.
+func (l *eventLog) since(seq int) ([]Event, <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq < 0 {
+		seq = 0
+	}
+	var out []Event
+	if seq < len(l.events) {
+		out = append(out, l.events[seq:]...)
+	}
+	return out, l.wake
+}
+
+// seedRecoveredEvents rebuilds a recovered job's event history from
+// its journaled attempt count: seq 1 is the queued transition, seqs
+// 2..1+attempts are the running transitions of the attempts the
+// previous process charged. The numbering matches what that process
+// streamed live (queued first, then one running event per attempt), so
+// a resume cursor taken before the crash stays valid after it.
+func seedRecoveredEvents(job *Job, attempts int) {
+	view := job.View()
+	evs := make([]Event, 0, 1+attempts)
+	evs = append(evs, Event{Seq: 1, Type: JobQueued, Job: view, Recovered: true})
+	for a := 1; a <= attempts; a++ {
+		evs = append(evs, Event{Seq: 1 + a, Type: JobRunning, Job: view, Recovered: true})
+	}
+	job.events.seed(evs)
+}
+
+// terminalStatus reports whether st ends a job's lifecycle (and hence
+// its event stream).
+func terminalStatus(st JobStatus) bool {
+	return st == JobDone || st == JobFailed || st == JobRequeued
+}
+
+// emit appends one transition to the job's event log (a no-op for
+// jobs constructed before the log existed, e.g. in old tests).
+func (j *Job) emit(typ JobStatus) {
+	if j.events == nil {
+		return
+	}
+	j.events.append(typ, j.View())
+}
+
+// lastEventID parses the SSE resume cursor: the standard
+// Last-Event-ID header, with a lastEventID query parameter accepted
+// for clients (curl, dashboards) that cannot set headers.
+func lastEventID(r *http.Request) int {
+	s := r.Header.Get("Last-Event-ID")
+	if s == "" {
+		s = r.URL.Query().Get("lastEventID")
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// sseStart switches the response into a server-sent-event stream.
+func sseStart(w http.ResponseWriter) (http.Flusher, bool) {
+	f, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return nil, false
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	f.Flush()
+	return f, true
+}
+
+// writeSSE frames one event: id, event name, JSON data, blank line.
+func writeSSE(w io.Writer, f http.Flusher, id int, event string, data []byte) error {
+	if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, event, data); err != nil {
+		return err
+	}
+	f.Flush()
+	return nil
+}
+
+// sseHeartbeat is the keep-alive comment interval used when
+// Options.SSEHeartbeat is zero.
+const sseHeartbeat = 15 * time.Second
+
+func (s *Server) heartbeatEvery() time.Duration {
+	if s.opts.SSEHeartbeat > 0 {
+		return s.opts.SSEHeartbeat
+	}
+	return sseHeartbeat
+}
+
+// handleJobEvents streams a job's state transitions as SSE
+// (GET /v1/jobs/{id}/events). Events carry the job-scoped sequence
+// number as the SSE id; a reconnecting client sends Last-Event-ID and
+// receives exactly the transitions it missed. The stream ends after
+// the terminal event (or immediately, when the client already
+// acknowledged it).
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "not-found", fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	if job.events == nil {
+		httpError(w, http.StatusNotFound, "not-found", fmt.Errorf("job %q has no event stream", job.ID))
+		return
+	}
+	cursor := lastEventID(r)
+	f, ok := sseStart(w)
+	if !ok {
+		return
+	}
+	s.stats.sseStreams.Add(1)
+	if cursor > 0 {
+		s.stats.sseResumed.Add(1)
+	}
+	s.stats.sseActive.Add(1)
+	defer s.stats.sseActive.Add(-1)
+
+	hb := time.NewTicker(s.heartbeatEvery())
+	defer hb.Stop()
+	for {
+		evs, wake := job.events.since(cursor)
+		for _, ev := range evs {
+			data, err := marshalEvent(ev)
+			if err != nil {
+				return
+			}
+			if writeSSE(w, f, ev.Seq, string(ev.Type), data) != nil {
+				return
+			}
+			s.stats.sseSent.Add(1)
+			cursor = ev.Seq
+			if terminalStatus(ev.Type) {
+				return
+			}
+		}
+		// A client resuming past the terminal event gets an empty,
+		// immediately-closed stream instead of a hang.
+		select {
+		case <-job.Done():
+			if evs, _ := job.events.since(cursor); len(evs) == 0 {
+				return
+			}
+			continue
+		default:
+		}
+		select {
+		case <-wake:
+		case <-job.Done():
+		case <-hb.C:
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			f.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleBatchEvents streams a batch's aggregate progress as SSE
+// (GET /v1/batch/{id}/events): one "item" event per batch item, in
+// item-index order, each emitted once the item is terminal, followed
+// by a final "batch" summary event. Because the order is the item
+// order — not completion order — the event ids are deterministic
+// (item i has id i+1) and Last-Event-ID resume replays exactly the
+// unseen suffix.
+func (s *Server) handleBatchEvents(w http.ResponseWriter, r *http.Request) {
+	b, ok := s.Batch(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "not-found", fmt.Errorf("unknown batch %q", r.PathValue("id")))
+		return
+	}
+	cursor := lastEventID(r)
+	f, ok := sseStart(w)
+	if !ok {
+		return
+	}
+	s.stats.sseStreams.Add(1)
+	if cursor > 0 {
+		s.stats.sseResumed.Add(1)
+	}
+	s.stats.sseActive.Add(1)
+	defer s.stats.sseActive.Add(-1)
+
+	sp := b.trace.Root().Child("batch.stream")
+	sp.Set("resumeFrom", int64(cursor))
+	defer sp.End()
+
+	hb := time.NewTicker(s.heartbeatEvery())
+	defer hb.Stop()
+	sent := int64(0)
+	defer func() { sp.Add("events", sent) }()
+	for i := cursor; i < len(b.items); i++ {
+		it := b.items[i]
+		if it.job != nil {
+		wait:
+			for {
+				select {
+				case <-it.job.Done():
+					break wait
+				case <-hb.C:
+					if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+						return
+					}
+					f.Flush()
+				case <-r.Context().Done():
+					return
+				}
+			}
+		}
+		data, err := marshalEvent(b.itemView(i))
+		if err != nil {
+			return
+		}
+		if writeSSE(w, f, i+1, "item", data) != nil {
+			return
+		}
+		s.stats.sseSent.Add(1)
+		sent++
+	}
+	if cursor <= len(b.items) {
+		data, err := marshalEvent(b.View())
+		if err != nil {
+			return
+		}
+		if writeSSE(w, f, len(b.items)+1, "batch", data) != nil {
+			return
+		}
+		s.stats.sseSent.Add(1)
+		sent++
+	}
+}

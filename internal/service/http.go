@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
 	"time"
 
 	"panorama/internal/core"
@@ -118,10 +117,18 @@ func failureStatus(err error) int {
 //
 //	POST /v1/map        submit a job (cache hit → 200, queued → 202,
 //	                    wait=true blocks for the outcome)
+//	POST /v1/batch      submit many jobs under one admission decision
+//	                    (fully resolved → 200, anything queued → 202)
+//	GET  /v1/batch/{id} batch status with per-item outcomes
+//	GET  /v1/batch/{id}/events  SSE aggregate stream: one "item" event
+//	                    per item as it finishes, then a "batch" summary
 //	GET  /v1/jobs/{id}  job status/result; ?wait=1 blocks until done
+//	GET  /v1/jobs/{id}/events  SSE stream of the job's state
+//	                    transitions, resumable via Last-Event-ID
 //	GET  /v1/result/{fp} cached result by fingerprint
-//	GET  /v1/trace/{id} the job's span tree (JSON; live snapshot while
-//	                    the job runs, 404 before it starts)
+//	GET  /v1/trace/{id} the job's (or batch admission's) span tree
+//	                    (JSON; live snapshot while the job runs, 404
+//	                    before it starts)
 //	GET  /healthz       liveness ("ok", or "draining" during shutdown)
 //	GET  /metricsz      service + pipeline metrics (Prometheus text)
 //	GET  /statsz        cache/queue/failure counters (JSON; deprecated
@@ -129,7 +136,11 @@ func failureStatus(err error) int {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/map", s.handleMap)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/batch/{id}", s.handleBatchGet)
+	mux.HandleFunc("GET /v1/batch/{id}/events", s.handleBatchEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/result/{fp}", s.handleResult)
 	mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -138,12 +149,45 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// maxBodyBytes is the request-body cap before JSON decoding.
+func (s *Server) maxBodyBytes() int64 {
+	if s.opts.MaxBodyBytes > 0 {
+		return s.opts.MaxBodyBytes
+	}
+	return 8 << 20
+}
+
+// maxBatchItems is the per-request item cap on POST /v1/batch.
+func (s *Server) maxBatchItems() int {
+	if s.opts.MaxBatchItems > 0 {
+		return s.opts.MaxBatchItems
+	}
+	return 64
+}
+
+// decodeJSONBody decodes a size-capped request body into v, writing
+// the error response (413 oversized, 400 malformed) itself and
+// reporting whether the caller should proceed.
+func decodeJSONBody(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge, "oversized-body",
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
+		httpError(w, http.StatusBadRequest, "bad-request", err)
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	var req Request
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad-request", err)
+	if !decodeJSONBody(w, r, s.maxBodyBytes(), &req) {
 		return
 	}
 	res, err := s.resolve(&req)
@@ -161,14 +205,14 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	out, err := s.submit(res)
 	switch {
 	case errors.Is(err, ErrOverloaded):
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.opts.RetryAfter+time.Second-1)/time.Second)))
+		w.Header().Set("Retry-After", strconv429(s.retryAfterSeconds()))
 		httpError(w, http.StatusTooManyRequests, "overloaded", err)
 		return
 	case errors.Is(err, ErrDraining):
 		httpError(w, http.StatusServiceUnavailable, "draining", err)
 		return
 	case errors.Is(err, ErrShedding):
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.opts.RetryAfter+time.Second-1)/time.Second)))
+		w.Header().Set("Retry-After", strconv429(s.retryAfterSeconds()))
 		httpError(w, http.StatusServiceUnavailable, "shedding", err)
 		return
 	case err != nil:
@@ -269,6 +313,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if b, ok := s.Batch(r.PathValue("id")); ok {
+		writeJSON(w, http.StatusOK, b.trace.Dump())
+		return
+	}
 	job, ok := s.Job(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, "not-found", fmt.Errorf("unknown job %q", r.PathValue("id")))

@@ -32,6 +32,15 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		p("# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
 	}
 
+	p("# HELP panorama_batch_items_total Batch items by admission disposition.\n" +
+		"# TYPE panorama_batch_items_total counter\n")
+	p("panorama_batch_items_total{disposition=\"coalesced\"} %d\n", st.BatchItemsCoalesced)
+	p("panorama_batch_items_total{disposition=\"dup\"} %d\n", st.BatchItemsDup)
+	p("panorama_batch_items_total{disposition=\"enqueued\"} %d\n", st.BatchItemsEnqueued)
+	p("panorama_batch_items_total{disposition=\"error\"} %d\n", st.BatchItemsError)
+	p("panorama_batch_items_total{disposition=\"hit\"} %d\n", st.BatchItemsHit)
+	counter("panorama_batch_rejected_total", "Batch requests rejected wholesale by admission control.", st.BatchRejected)
+	counter("panorama_batch_requests_total", "Batch requests that reached admission.", st.BatchRequests)
 	gauge("panorama_service_breaker_failure_rate", "Windowed failure fraction behind the service breaker.", st.BreakerFailureRate)
 	gauge("panorama_service_breaker_state", "Service breaker state: 0 ok, 1 degrading admissions, 2 shedding load.", breakerStateValue(st.BreakerState))
 	gauge("panorama_service_cache_entries", "Entries in the result cache.", float64(st.CacheEntries))
@@ -62,6 +71,10 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	p("panorama_service_stage_seconds_total{stage=\"clustermap\"} %g\n", st.ClusterMapMS/1000)
 	p("panorama_service_stage_seconds_total{stage=\"lower\"} %g\n", st.LowerMS/1000)
 	counter("panorama_service_submitted_total", "Accepted submissions (cache hit, coalesced or enqueued).", st.Submitted)
+	gauge("panorama_sse_active_streams", "Event streams currently open.", float64(st.SSEActive))
+	counter("panorama_sse_events_sent_total", "Events written to SSE streams.", st.SSESent)
+	counter("panorama_sse_resumed_total", "SSE streams opened with a Last-Event-ID resume cursor.", st.SSEResumed)
+	counter("panorama_sse_streams_total", "SSE streams opened (job and batch).", st.SSEStreams)
 	if err != nil {
 		return err
 	}

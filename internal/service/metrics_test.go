@@ -21,6 +21,9 @@ import (
 // renaming or dropping any of these breaks deployed scrape configs and
 // dashboards, so a change here must be deliberate.
 var metricszFamilies = []string{
+	"panorama_batch_items_total",
+	"panorama_batch_rejected_total",
+	"panorama_batch_requests_total",
 	"panorama_service_breaker_failure_rate",
 	"panorama_service_breaker_state",
 	"panorama_service_cache_entries",
@@ -42,6 +45,10 @@ var metricszFamilies = []string{
 	"panorama_service_shed_total",
 	"panorama_service_stage_seconds_total",
 	"panorama_service_submitted_total",
+	"panorama_sse_active_streams",
+	"panorama_sse_events_sent_total",
+	"panorama_sse_resumed_total",
+	"panorama_sse_streams_total",
 }
 
 func getMetricsz(t *testing.T, url string) string {

@@ -127,7 +127,14 @@ func (s *Server) recoverJobs(pending []journal.Record) {
 			status:      JobQueued,
 			created:     time.Now(),
 			done:        make(chan struct{}),
+			events:      newEventLog(),
 		}
+		// Re-synthesize the event history the pre-crash process streamed
+		// — one queued event, one running event per journaled attempt,
+		// with the same sequence numbers — so a client resuming with
+		// Last-Event-ID spanning the restart sees neither duplicated nor
+		// missing transitions.
+		seedRecoveredEvents(job, rec.Attempt)
 		if req.fingerprint != rec.Key {
 			// A CodeVersion bump (or changed fingerprint inputs) since
 			// the journal was written; the job re-runs under its new
@@ -141,6 +148,7 @@ func (s *Server) recoverJobs(pending []journal.Record) {
 			job.status = JobDone
 			job.summary = &e.Summary
 			job.finished = time.Now()
+			job.emit(JobDone)
 			close(job.done)
 			s.jlog(journal.Record{Kind: journal.Completed, JobID: job.ID, Key: job.Fingerprint,
 				Note: "resolved from cache on recovery"})

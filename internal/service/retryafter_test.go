@@ -1,0 +1,79 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// The estimator's contract: fallback verbatim with no observed
+// completions, otherwise ceil((backlog+1) / drain-rate) clamped to
+// [1s, 60s]. Driven by a fake clock so every case is deterministic.
+func TestDrainEstimatorHint(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	now := base
+	d := newDrainEstimator()
+	d.now = func() time.Time { return now }
+
+	// Cold start: no samples → the configured fallback, untouched.
+	if got := d.hint(10, 2*time.Second); got != 2*time.Second {
+		t.Fatalf("cold hint = %v, want fallback 2s", got)
+	}
+
+	// 15 completions over 15 seconds → rate 0.5/s over the 30s window.
+	for i := 0; i < 15; i++ {
+		now = base.Add(time.Duration(i) * time.Second)
+		d.record()
+	}
+	now = base.Add(15 * time.Second)
+	// backlog 4 → (4+1) jobs / (15/30s) = 10s.
+	if got := d.hint(4, 2*time.Second); got != 10*time.Second {
+		t.Fatalf("hint(backlog=4) = %v, want 10s", got)
+	}
+	// backlog 0: the caller's own job still queues behind the drain.
+	if got := d.hint(0, 2*time.Second); got != 2*time.Second {
+		t.Fatalf("hint(backlog=0) = %v, want 2s (1 job / 0.5 per s)", got)
+	}
+	// Huge backlog clamps at 60s rather than telling clients minutes.
+	if got := d.hint(1000, 2*time.Second); got != 60*time.Second {
+		t.Fatalf("hint(backlog=1000) = %v, want 60s clamp", got)
+	}
+
+	// A fast drain floors at 1s (Retry-After: 0 invites a stampede).
+	fast := newDrainEstimator()
+	fast.now = func() time.Time { return now }
+	for i := 0; i < drainRing; i++ {
+		fast.record()
+	}
+	if got := fast.hint(0, 2*time.Second); got != time.Second {
+		t.Fatalf("fast hint = %v, want 1s floor", got)
+	}
+
+	// Samples age out of the window: move 31s past the last record and
+	// the estimator is cold again.
+	now = base.Add(45 * time.Second)
+	if got := d.hint(4, 2*time.Second); got != 2*time.Second {
+		t.Fatalf("aged hint = %v, want fallback 2s", got)
+	}
+}
+
+// The ring holds drainRing samples; older ones are overwritten, not
+// double-counted.
+func TestDrainEstimatorRingWrap(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	now := base
+	d := newDrainEstimator()
+	d.now = func() time.Time { return now }
+	for i := 0; i < 3*drainRing; i++ {
+		d.record()
+	}
+	// All within the window, but at most drainRing counted:
+	// (0+1) * 30 / 64 = 0.47s → ceil → 1s floor.
+	if got := d.hint(0, 5*time.Second); got != time.Second {
+		t.Fatalf("wrapped hint = %v, want 1s", got)
+	}
+	// Backlog that would take >1s at exactly drainRing per window:
+	// (63+1) * 30 / 64 = 30s.
+	if got := d.hint(63, 5*time.Second); got != 30*time.Second {
+		t.Fatalf("wrapped hint(63) = %v, want 30s", got)
+	}
+}

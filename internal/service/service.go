@@ -50,10 +50,26 @@ type Options struct {
 	// Budgets is the default budget ladder applied to every job; a
 	// request's timeoutMS overrides Budgets.Total.
 	Budgets core.Budgets
-	// RetryAfter is the hint returned with 429 responses (default 1s).
+	// RetryAfter is the Retry-After fallback for 429/503 responses,
+	// used until the drain estimator has observed at least one recent
+	// completion (default 1s).
 	RetryAfter time.Duration
 	// Run substitutes the job executor (tests, alternative backends).
 	Run RunFunc
+	// WrapRun decorates the executor after the default is resolved, so
+	// harnesses can observe every execution of the real pipeline
+	// (exactly-once accounting in load tests) without replacing it.
+	WrapRun func(RunFunc) RunFunc
+
+	// MaxBodyBytes bounds a request body before JSON decoding; an
+	// oversized body gets 413 (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxBatchItems bounds the items in one POST /v1/batch request
+	// (default 64).
+	MaxBatchItems int
+	// SSEHeartbeat is the keep-alive comment interval on idle event
+	// streams (default 15s).
+	SSEHeartbeat time.Duration
 
 	// JournalDir enables the crash-safe job journal: every accepted
 	// job's lifecycle is logged there, and New replays the journal to
@@ -126,6 +142,8 @@ type Job struct {
 	attempts  int    // executions so far (journal-replayed ones included)
 	runMapper string // mapper of the current attempt ("" = Mapper)
 	degraded  bool   // the retry ladder or breaker stepped the mapper down
+
+	events *eventLog // state transitions for the SSE surface
 
 	done chan struct{} // closed when the job reaches a terminal status
 }
@@ -220,15 +238,19 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	mu       sync.Mutex
-	jobs     map[string]*Job // by job id
-	flight   map[string]*Job // by fingerprint: queued or running
-	draining bool
-	nextID   int
+	mu        sync.Mutex
+	jobs      map[string]*Job   // by job id
+	flight    map[string]*Job   // by fingerprint: queued or running
+	batches   map[string]*Batch // by batch id
+	draining  bool
+	nextID    int
+	nextBatch int
 
 	queue   chan *Job
 	running atomic.Int64
 	wg      sync.WaitGroup
+
+	drain *drainEstimator // recent completions → Retry-After hints
 }
 
 // New builds and starts a server (its workers run until Shutdown).
@@ -294,7 +316,9 @@ func New(opts Options) (*Server, error) {
 		journal: jn,
 		jobs:    make(map[string]*Job),
 		flight:  make(map[string]*Job),
+		batches: make(map[string]*Batch),
 		queue:   make(chan *Job, qsize),
+		drain:   newDrainEstimator(),
 	}
 	if opts.BreakerWindow > 0 {
 		s.breaker = newBreaker(opts.BreakerWindow, opts.BreakerDegrade, opts.BreakerShed)
@@ -302,6 +326,9 @@ func New(opts Options) (*Server, error) {
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	if s.opts.Run == nil {
 		s.opts.Run = s.runPipeline
+	}
+	if s.opts.WrapRun != nil {
+		s.opts.Run = s.opts.WrapRun(s.opts.Run)
 	}
 	if len(pending) > 0 {
 		s.recoverJobs(pending)
@@ -335,11 +362,14 @@ func (s *Server) JournalStats() (journal.Stats, bool) {
 func (s *Server) Cache() *Cache { return s.cache }
 
 // Outcome is what a submission produced: exactly one of Entry (cache
-// hit) or Job (new or coalesced computation) is set.
+// hit) or Job (new or coalesced computation) is set. Dup marks a
+// coalescing within a single batch (two items with one fingerprint)
+// rather than onto a previously in-flight job.
 type Outcome struct {
 	Entry     *Entry
 	Job       *Job
 	Coalesced bool
+	Dup       bool
 }
 
 // submit runs admission for a resolved request: cache lookup, breaker
@@ -403,12 +433,17 @@ func (s *Server) submit(req *resolved) (Outcome, error) {
 		status:      JobQueued,
 		created:     time.Now(),
 		done:        make(chan struct{}),
+		events:      newEventLog(),
 	}
 	s.jobs[job.ID] = job
 	s.flight[job.Fingerprint] = job
 	// The Submitted record goes in before the job can be dequeued so a
-	// worker's Started record never precedes it in the journal.
+	// worker's Started record never precedes it in the journal — and
+	// the queued event before the enqueue, so no subscriber can see a
+	// running event first. (A queue-full rollback leaves a stray queued
+	// event on a job nobody can ever address; harmless.)
 	s.jlog(Record{Kind: journal.Submitted, JobID: job.ID, Key: job.Fingerprint, Blob: blob})
+	job.emit(JobQueued)
 	select {
 	case s.queue <- job:
 	default:
@@ -458,6 +493,7 @@ func (s *Server) runJob(job *Job) {
 		s.stats.executed.Add(1)
 		s.jlog(Record{Kind: journal.Started, JobID: job.ID, Key: job.Fingerprint,
 			Attempt: attempt, Note: job.currentMapper()})
+		job.emit(JobRunning)
 
 		sum, err, watchdog := s.runAttempt(job)
 		if err == nil {
@@ -566,7 +602,9 @@ func (s *Server) finishDone(job *Job, sum core.Summary) {
 	s.jlog(Record{Kind: journal.Completed, JobID: job.ID, Key: job.Fingerprint,
 		Attempt: job.Attempts(), Note: note})
 	s.breaker.record(false)
+	s.drain.record()
 	s.unregister(job)
+	job.emit(JobDone)
 	close(job.done)
 }
 
@@ -586,7 +624,9 @@ func (s *Server) finishFailed(job *Job, sum core.Summary, err error) {
 	s.jlog(Record{Kind: journal.Failed, JobID: job.ID, Key: job.Fingerprint,
 		Attempt: job.Attempts(), Note: failureClass(err)})
 	s.breaker.record(true)
+	s.drain.record()
 	s.unregister(job)
+	job.emit(JobFailed)
 	close(job.done)
 }
 
@@ -600,6 +640,7 @@ func (s *Server) finishRequeued(job *Job) {
 	s.jlog(Record{Kind: journal.Requeued, JobID: job.ID, Key: job.Fingerprint,
 		Attempt: job.Attempts(), Note: "draining"})
 	s.unregister(job)
+	job.emit(JobRequeued)
 	close(job.done)
 }
 
@@ -614,7 +655,9 @@ func (s *Server) finishFromCache(job *Job, e Entry) {
 	s.stats.completed.Add(1)
 	s.jlog(Record{Kind: journal.Completed, JobID: job.ID, Key: job.Fingerprint,
 		Note: "resolved from cache"})
+	s.drain.record()
 	s.unregister(job)
+	job.emit(JobDone)
 	close(job.done)
 }
 

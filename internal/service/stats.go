@@ -33,6 +33,19 @@ type stats struct {
 	recovered     atomic.Int64 // jobs replayed from the journal at startup
 	journalErrors atomic.Int64 // journal appends that failed
 
+	batchRequests       atomic.Int64 // POST /v1/batch requests that reached admission
+	batchRejected       atomic.Int64 // batches rejected wholesale (429/503)
+	batchItemsHit       atomic.Int64 // batch items served from the cache
+	batchItemsCoalesced atomic.Int64 // batch items attached to an in-flight job
+	batchItemsDup       atomic.Int64 // batch items deduped within their batch
+	batchItemsEnqueued  atomic.Int64 // batch items that created a job
+	batchItemsError     atomic.Int64 // batch items rejected at resolve time
+
+	sseStreams atomic.Int64 // event streams opened (job + batch)
+	sseResumed atomic.Int64 // streams opened with a Last-Event-ID cursor
+	sseSent    atomic.Int64 // events written to streams
+	sseActive  atomic.Int64 // streams currently open (gauge)
+
 	// Cumulative per-stage wall time of executed jobs, from
 	// Result.Provenance (nanoseconds).
 	clusteringNS atomic.Int64
@@ -93,6 +106,19 @@ type Stats struct {
 	Recovered     int64 `json:"recovered"`
 	JournalErrors int64 `json:"journalAppendErrors"`
 
+	BatchRequests       int64 `json:"batchRequests"`
+	BatchRejected       int64 `json:"batchRejected"`
+	BatchItemsHit       int64 `json:"batchItemsHit"`
+	BatchItemsCoalesced int64 `json:"batchItemsCoalesced"`
+	BatchItemsDup       int64 `json:"batchItemsDup"`
+	BatchItemsEnqueued  int64 `json:"batchItemsEnqueued"`
+	BatchItemsError     int64 `json:"batchItemsError"`
+
+	SSEStreams int64 `json:"sseStreams"`
+	SSEResumed int64 `json:"sseResumed"`
+	SSESent    int64 `json:"sseEventsSent"`
+	SSEActive  int64 `json:"sseActiveStreams"`
+
 	// BreakerState is "ok", "degrade" or "shed"; BreakerFailureRate is
 	// the windowed failure fraction behind it.
 	BreakerState       string  `json:"breakerState"`
@@ -109,31 +135,42 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	st := &s.stats
 	out := Stats{
-		Submitted:          st.submitted.Load(),
-		Rejected:           st.rejected.Load(),
-		CacheHits:          st.hits.Load(),
-		CacheMisses:        st.misses.Load(),
-		Coalesced:          st.coalesced.Load(),
-		CacheEntries:       s.cache.Len(),
-		QueueDepth:         len(s.queue),
-		RunningJobs:        int(s.running.Load()),
-		Executed:           st.executed.Load(),
-		Completed:          st.completed.Load(),
-		FailedBudget:       st.failedBudget.Load(),
-		FailedInfeasib:     st.failedInfeasible.Load(),
-		FailedCancel:       st.failedCancelled.Load(),
-		FailedOther:        st.failedOther.Load(),
-		Retried:            st.retried.Load(),
-		Degraded:           st.degraded.Load(),
-		Shed:               st.shed.Load(),
-		Requeued:           st.requeued.Load(),
-		Recovered:          st.recovered.Load(),
-		JournalErrors:      st.journalErrors.Load(),
-		BreakerState:       s.breaker.state().String(),
-		BreakerFailureRate: s.breaker.failureRate(),
-		ClusteringMS:       float64(st.clusteringNS.Load()) / float64(time.Millisecond),
-		ClusterMapMS:       float64(st.clustermapNS.Load()) / float64(time.Millisecond),
-		LowerMS:            float64(st.lowerNS.Load()) / float64(time.Millisecond),
+		Submitted:           st.submitted.Load(),
+		Rejected:            st.rejected.Load(),
+		CacheHits:           st.hits.Load(),
+		CacheMisses:         st.misses.Load(),
+		Coalesced:           st.coalesced.Load(),
+		CacheEntries:        s.cache.Len(),
+		QueueDepth:          len(s.queue),
+		RunningJobs:         int(s.running.Load()),
+		Executed:            st.executed.Load(),
+		Completed:           st.completed.Load(),
+		FailedBudget:        st.failedBudget.Load(),
+		FailedInfeasib:      st.failedInfeasible.Load(),
+		FailedCancel:        st.failedCancelled.Load(),
+		FailedOther:         st.failedOther.Load(),
+		Retried:             st.retried.Load(),
+		Degraded:            st.degraded.Load(),
+		Shed:                st.shed.Load(),
+		Requeued:            st.requeued.Load(),
+		Recovered:           st.recovered.Load(),
+		JournalErrors:       st.journalErrors.Load(),
+		BatchRequests:       st.batchRequests.Load(),
+		BatchRejected:       st.batchRejected.Load(),
+		BatchItemsHit:       st.batchItemsHit.Load(),
+		BatchItemsCoalesced: st.batchItemsCoalesced.Load(),
+		BatchItemsDup:       st.batchItemsDup.Load(),
+		BatchItemsEnqueued:  st.batchItemsEnqueued.Load(),
+		BatchItemsError:     st.batchItemsError.Load(),
+		SSEStreams:          st.sseStreams.Load(),
+		SSEResumed:          st.sseResumed.Load(),
+		SSESent:             st.sseSent.Load(),
+		SSEActive:           st.sseActive.Load(),
+		BreakerState:        s.breaker.state().String(),
+		BreakerFailureRate:  s.breaker.failureRate(),
+		ClusteringMS:        float64(st.clusteringNS.Load()) / float64(time.Millisecond),
+		ClusterMapMS:        float64(st.clustermapNS.Load()) / float64(time.Millisecond),
+		LowerMS:             float64(st.lowerNS.Load()) / float64(time.Millisecond),
 	}
 	if n := out.CacheHits + out.CacheMisses; n > 0 {
 		out.CacheHitRate = float64(out.CacheHits) / float64(n)
