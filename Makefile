@@ -4,15 +4,16 @@ GO ?= go
 # nightly CI job raises it (see .github/workflows/ci.yml).
 FUZZTIME ?= 10s
 
-.PHONY: check build test vet race bench bench-check bench-snapshot check-fault check-service check-journal check-diff check-obs check-sat check-load docs fuzz
+.PHONY: check build test vet race bench bench-check bench-snapshot check-fault check-service check-journal check-diff check-obs check-sat check-load check-cluster docs fuzz
 
 # The repository's verification gate: formatting + godoc contract, vet,
 # build everything, then the full test suite with the race detector
 # (the parallel pipeline and harness paths all run under it), plus the
 # fault-injection matrix, the service-layer contract tests, the
 # crash-safety suite, the observability overhead guard, the SAT
-# mapper + portfolio contracts, and the load/soak SLO suite.
-check: docs vet build race check-fault check-service check-journal check-obs check-sat check-load
+# mapper + portfolio contracts, the load/soak SLO suite, and the
+# fleet/cluster contracts.
+check: docs vet build race check-fault check-service check-journal check-obs check-sat check-load check-cluster
 
 # The documentation contract: everything gofmt-clean, and every
 # exported symbol in the audited packages carries a doc comment
@@ -23,7 +24,7 @@ docs:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) run ./cmd/doccheck ./internal/core ./internal/dfg ./internal/verify \
 		./internal/service ./internal/failure ./internal/obs ./internal/journal \
-		./internal/sat ./internal/satmap ./internal/loadtest
+		./internal/sat ./internal/satmap ./internal/loadtest ./internal/cluster
 
 # The observability contracts: span-tree well-formedness under 16
 # concurrent requests, /metricsz exposition-format validity, the
@@ -89,6 +90,17 @@ check-service:
 # and run multi-process end to end — all under the race detector.
 check-load:
 	$(GO) test -race -run 'TestSoakMixedLoad|TestDrainMidLoad|TestLoadGenerator' ./internal/loadtest/
+
+# The fleet/cluster contracts: consistent-hash ring distribution and
+# minimal-remap properties, the forwarding protocol (hop guard, typed
+# peer-down fallback, remote error propagation), gossip recovery and
+# cache fill, webhook delivery and signing, and the 3-peer in-process
+# fleet soak with its owner-kill failover e2e — all under the race
+# detector.
+check-cluster:
+	$(GO) test -race ./internal/cluster/
+	$(GO) test -race -run 'TestForward|TestOwnerRunsLocally|TestGossip|TestWebhook|TestCluster' ./internal/service/
+	$(GO) test -race -run 'TestFleet' ./internal/loadtest/
 
 # The crash-safety suite: journal append/replay/compaction invariants,
 # the torn-tail property, and the service-level chaos tests — hard-drop

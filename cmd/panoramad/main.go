@@ -27,6 +27,16 @@
 //	GET  /healthz        liveness; GET /metricsz Prometheus metrics;
 //	                     GET /statsz JSON counters (deprecated alias)
 //
+// With -peers (and -self naming this node's own URL in that list) the
+// daemon joins a static fleet: a consistent-hash ring shards mapping
+// fingerprints across the peers, non-owners forward work to its owner
+// (falling back to local execution when the owner is down), and
+// -gossip enables periodic peer health probes plus opportunistic
+// cache fill from peers' recent completions. GET /v1/cluster/statsz
+// serves this node's ring view. -webhook-url (optionally signed with
+// -webhook-secret) fires a POST per terminal job. See DEPLOYMENT.md
+// for fleet topologies and sizing.
+//
 // SIGINT/SIGTERM starts a graceful shutdown: queued and in-flight jobs
 // drain within -drain while the endpoints stay up (so a final scrape
 // of /metricsz sees the completed counters), then the listeners close,
@@ -50,6 +60,7 @@ import (
 	"syscall"
 	"time"
 
+	"panorama/internal/cluster"
 	"panorama/internal/core"
 	"panorama/internal/service"
 )
@@ -68,8 +79,26 @@ func main() {
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 		journalDir  = flag.String("journal-dir", "", "crash-safe job journal directory: accepted jobs survive a crash and re-run on restart (empty = no durability)")
 		maxAttempts = flag.Int("max-attempts", 3, "execution attempts per job, restarts included")
+		peersFlag   = flag.String("peers", "", "comma-separated fleet peer base URLs (empty = standalone)")
+		selfURL     = flag.String("self", "", "this node's own base URL as it appears in -peers (required with -peers)")
+		vnodes      = flag.Int("vnodes", 0, "consistent-hash virtual nodes per peer (0 = default)")
+		gossip      = flag.Duration("gossip", 0, "peer health-probe and cache-fill interval (0 = no gossip; forwarding still works)")
+		webhookURL  = flag.String("webhook-url", "", "POST a signed notification here for every terminal job (empty = disabled)")
+		webhookKey  = flag.String("webhook-secret", "", "HMAC-SHA256 key for webhook body signatures (empty = unsigned)")
 	)
 	flag.Parse()
+
+	var cl *cluster.Cluster
+	if *peersFlag != "" {
+		if *selfURL == "" {
+			log.Fatalf("panoramad: -peers requires -self (this node's URL in the peer list)")
+		}
+		cl = cluster.New(cluster.Config{
+			Self:         *selfURL,
+			Peers:        strings.Split(*peersFlag, ","),
+			VirtualNodes: *vnodes,
+		})
+	}
 
 	srv, err := service.New(service.Options{
 		Workers:         *workers,
@@ -81,9 +110,17 @@ func main() {
 		RetryAfter:      *retry,
 		JournalDir:      *journalDir,
 		MaxAttempts:     *maxAttempts,
+		Cluster:         cl,
+		GossipInterval:  *gossip,
+		WebhookURL:      *webhookURL,
+		WebhookSecret:   *webhookKey,
 	})
 	if err != nil {
 		log.Fatalf("panoramad: %v", err)
+	}
+	if cl != nil {
+		cs := cl.Stats()
+		log.Printf("panoramad: fleet of %d peer(s), self %s, gossip %v", len(cs.Peers), cs.Self, *gossip)
 	}
 	if *cacheDir != "" {
 		log.Printf("panoramad: cache dir %s (%d entries loaded, %d skipped)", *cacheDir, srv.Cache().Len(), srv.Cache().LoadSkipped())

@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"panorama/internal/failure"
+)
+
+// TestClusterInertWithoutPeers checks the single-node fast path: a
+// cluster with no peers (or no self) never names an owner, so the
+// service's forwarding branch is dead code in solo deployments.
+func TestClusterInertWithoutPeers(t *testing.T) {
+	var nilc *Cluster
+	if nilc.Enabled() || nilc.Owner("k") != "" {
+		t.Fatal("nil cluster must be inert")
+	}
+	solo := New(Config{Self: "http://a:1"})
+	if solo.Enabled() {
+		t.Error("single-peer cluster reports Enabled")
+	}
+	if got := solo.Owner("k"); got != "" {
+		t.Errorf("single-peer Owner = %q, want empty", got)
+	}
+	unbound := New(Config{Peers: []string{"http://a:1", "http://b:1"}})
+	if unbound.Enabled() || unbound.Owner("k") != "" {
+		t.Error("cluster without a bound self must be inert")
+	}
+}
+
+// TestClusterHealthBreaker walks a peer down through consecutive
+// failures and back up through a success.
+func TestClusterHealthBreaker(t *testing.T) {
+	c := New(Config{
+		Self:          "http://a:1",
+		Peers:         []string{"http://a:1", "http://b:1"},
+		FailThreshold: 3,
+	})
+	peer := "http://b:1"
+	if !c.Healthy(peer) {
+		t.Fatal("fresh peer not healthy")
+	}
+	for i := 0; i < 2; i++ {
+		if down := c.ReportFailure(peer); down {
+			t.Fatalf("peer down after %d failures, threshold 3", i+1)
+		}
+	}
+	if !c.Healthy(peer) {
+		t.Fatal("peer down below threshold")
+	}
+	if down := c.ReportFailure(peer); !down {
+		t.Fatal("peer not down at threshold")
+	}
+	if c.Healthy(peer) {
+		t.Fatal("Healthy true for down peer")
+	}
+	st := c.Stats()
+	if st.PeersDown != 1 {
+		t.Errorf("PeersDown = %d, want 1", st.PeersDown)
+	}
+	c.ReportSuccess(peer)
+	if !c.Healthy(peer) {
+		t.Fatal("peer still down after success")
+	}
+	// Self is always healthy; unknown peers never are.
+	if !c.Healthy("http://a:1") {
+		t.Error("self not healthy")
+	}
+	if c.Healthy("http://stranger:1") {
+		t.Error("unknown peer healthy")
+	}
+}
+
+// TestClusterConfigurePreservesHealth checks that rebuilding the ring
+// keeps the failure streaks of surviving peers.
+func TestClusterConfigurePreservesHealth(t *testing.T) {
+	c := New(Config{
+		Self:          "http://a:1",
+		Peers:         []string{"http://a:1", "http://b:1"},
+		FailThreshold: 1,
+	})
+	c.ReportFailure("http://b:1")
+	c.SetPeers([]string{"http://a:1", "http://b:1", "http://c:1"})
+	if c.Healthy("http://b:1") {
+		t.Error("membership change reset b's down state")
+	}
+	if !c.Healthy("http://c:1") {
+		t.Error("new peer c not healthy")
+	}
+}
+
+// TestForwardSetsHopGuard checks that the forwarding client carries
+// the single-hop header and that HTTP answers (including 421) come
+// back without tripping the breaker.
+func TestForwardSetsHopGuard(t *testing.T) {
+	var gotFrom atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotFrom.Store(r.Header.Get(HeaderForwardedFrom))
+		w.WriteHeader(http.StatusMisdirectedRequest)
+		w.Write([]byte(`{"error":"not owner"}`))
+	}))
+	defer srv.Close()
+	c := New(Config{Self: "http://origin:1", Peers: []string{"http://origin:1", srv.URL}})
+	status, body, err := c.Forward(context.Background(), srv.URL, "/v1/map", []byte(`{}`))
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if status != http.StatusMisdirectedRequest {
+		t.Fatalf("status = %d, want 421", status)
+	}
+	if len(body) == 0 {
+		t.Fatal("empty body")
+	}
+	if got := gotFrom.Load(); got != "http://origin:1" {
+		t.Errorf("%s = %q, want origin URL", HeaderForwardedFrom, got)
+	}
+	if !c.Healthy(srv.URL) {
+		t.Error("421 answer tripped the health breaker")
+	}
+}
+
+// TestForwardPeerDown checks that transport failures and 502/503
+// answers surface as typed ErrPeerDown and charge the breaker.
+func TestForwardPeerDown(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	c := New(Config{
+		Self:          "http://origin:1",
+		Peers:         []string{"http://origin:1", srv.URL},
+		FailThreshold: 1,
+	})
+	if _, _, err := c.Forward(context.Background(), srv.URL, "/v1/map", nil); !failure.IsPeerDown(err) {
+		t.Fatalf("503 answer: err = %v, want ErrPeerDown", err)
+	}
+	if c.Healthy(srv.URL) {
+		t.Error("503 did not charge the breaker at threshold 1")
+	}
+
+	srv.Close() // now a pure transport failure
+	c.ReportSuccess(srv.URL)
+	_, _, err := c.Forward(context.Background(), srv.URL, "/v1/map", nil)
+	if !failure.IsPeerDown(err) {
+		t.Fatalf("closed peer: err = %v, want ErrPeerDown", err)
+	}
+	var pd *PeerDownError
+	if !asPeerDown(err, &pd) || pd.Peer != srv.URL {
+		t.Errorf("PeerDownError.Peer = %v, want %s", pd, srv.URL)
+	}
+	if st := c.Stats(); st.ForwardErr != 2 {
+		t.Errorf("ForwardErr = %d, want 2", st.ForwardErr)
+	}
+}
+
+func asPeerDown(err error, out **PeerDownError) bool {
+	for err != nil {
+		if pd, ok := err.(*PeerDownError); ok {
+			*out = pd
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// TestProbe checks the gossip probe: a decoded statsz marks the peer
+// up, a failure charges the breaker.
+func TestProbe(t *testing.T) {
+	sz := Statsz{Draining: false, CacheEntries: 7, Recent: []string{"fp-a", "fp-b"}}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/cluster/statsz" {
+			http.NotFound(w, r)
+			return
+		}
+		json.NewEncoder(w).Encode(sz)
+	}))
+	defer srv.Close()
+	c := New(Config{
+		Self:          "http://origin:1",
+		Peers:         []string{"http://origin:1", srv.URL},
+		FailThreshold: 1,
+	})
+	c.ReportFailure(srv.URL) // down before the probe
+	if c.Healthy(srv.URL) {
+		t.Fatal("setup: peer should be down")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	got, err := c.Probe(ctx, srv.URL)
+	if err != nil {
+		t.Fatalf("Probe: %v", err)
+	}
+	if got.CacheEntries != 7 || len(got.Recent) != 2 {
+		t.Errorf("Probe decoded %+v", got)
+	}
+	if !c.Healthy(srv.URL) {
+		t.Error("successful probe did not recover the peer")
+	}
+	if _, err := c.Probe(ctx, "http://127.0.0.1:1"); !failure.IsPeerDown(err) {
+		t.Errorf("dead-address probe err = %v, want ErrPeerDown", err)
+	}
+	st := c.Stats()
+	if st.Probes != 2 || st.ProbeErr != 1 {
+		t.Errorf("probe counters = %d/%d, want 2/1", st.Probes, st.ProbeErr)
+	}
+}

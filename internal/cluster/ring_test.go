@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys synthesizes n deterministic fingerprint-like keys.
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("fp-%016x", splitmix64(uint64(i)))
+	}
+	return keys
+}
+
+func ringPeers(n int) []string {
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("http://peer-%d:8080", i)
+	}
+	return peers
+}
+
+// TestRingDistribution checks that key ownership stays within 15% of
+// uniform for the fleet sizes the issue names (3, 5, 8 peers).
+func TestRingDistribution(t *testing.T) {
+	keys := ringKeys(20000)
+	for _, n := range []int{3, 5, 8} {
+		n := n
+		t.Run(fmt.Sprintf("peers=%d", n), func(t *testing.T) {
+			r := NewRing(ringPeers(n), 0)
+			counts := map[string]int{}
+			for _, k := range keys {
+				owner := r.Owner(k)
+				if owner == "" {
+					t.Fatalf("Owner(%q) = empty on %d-peer ring", k, n)
+				}
+				counts[owner]++
+			}
+			if len(counts) != n {
+				t.Fatalf("only %d of %d peers own keys: %v", len(counts), n, counts)
+			}
+			want := float64(len(keys)) / float64(n)
+			for peer, got := range counts {
+				dev := (float64(got) - want) / want
+				if dev < -0.15 || dev > 0.15 {
+					t.Errorf("peer %s owns %d keys, %.1f%% off uniform (want within 15%%)",
+						peer, got, dev*100)
+				}
+			}
+		})
+	}
+}
+
+// TestRingDeterministic checks that two independently built rings over
+// the same membership agree on every owner — the property the whole
+// forwarding protocol rests on.
+func TestRingDeterministic(t *testing.T) {
+	peers := ringPeers(5)
+	// Shuffled + duplicated membership must normalize to the same ring.
+	scrambled := []string{peers[3], peers[0], peers[4], peers[0], peers[2], peers[1], peers[3]}
+	a := NewRing(peers, 0)
+	b := NewRing(scrambled, 0)
+	if a.N() != 5 || b.N() != 5 {
+		t.Fatalf("N: got %d and %d, want 5", a.N(), b.N())
+	}
+	for _, k := range ringKeys(2000) {
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("rings disagree on %q: %q vs %q", k, ao, bo)
+		}
+	}
+}
+
+// TestRingMinimalRemap checks the consistent-hashing contract: adding
+// or removing one peer moves only roughly its fair share of keys.
+func TestRingMinimalRemap(t *testing.T) {
+	keys := ringKeys(20000)
+	before := NewRing(ringPeers(5), 0)
+
+	t.Run("join", func(t *testing.T) {
+		after := NewRing(ringPeers(6), 0) // peer-5 joins
+		moved := 0
+		for _, k := range keys {
+			bo, ao := before.Owner(k), after.Owner(k)
+			if bo != ao {
+				moved++
+				// Every moved key must have moved TO the new peer, never
+				// between surviving peers.
+				if ao != "http://peer-5:8080" {
+					t.Fatalf("key %q moved %q -> %q, not to the joining peer", k, bo, ao)
+				}
+			}
+		}
+		// The new peer should take ~1/6 of the keys; allow generous slack
+		// but reject wholesale remapping.
+		frac := float64(moved) / float64(len(keys))
+		if frac > 0.25 {
+			t.Errorf("join moved %.1f%% of keys, want ~16.7%% (minimal remap)", frac*100)
+		}
+		if frac < 0.08 {
+			t.Errorf("join moved only %.1f%% of keys; new peer is underweighted", frac*100)
+		}
+	})
+
+	t.Run("leave", func(t *testing.T) {
+		gone := "http://peer-2:8080"
+		var surviving []string
+		for _, p := range ringPeers(5) {
+			if p != gone {
+				surviving = append(surviving, p)
+			}
+		}
+		after := NewRing(surviving, 0)
+		moved := 0
+		for _, k := range keys {
+			bo, ao := before.Owner(k), after.Owner(k)
+			if bo != ao {
+				moved++
+				// Only keys the departed peer owned may move.
+				if bo != gone {
+					t.Fatalf("key %q moved %q -> %q though its owner survived", k, bo, ao)
+				}
+			}
+		}
+		frac := float64(moved) / float64(len(keys))
+		if frac > 0.30 {
+			t.Errorf("leave moved %.1f%% of keys, want ~20%% (only the departed share)", frac*100)
+		}
+	})
+}
+
+// TestRingEmptyAndSingle covers the degenerate rings.
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := NewRing(nil, 0).Owner("k"); got != "" {
+		t.Errorf("empty ring Owner = %q, want empty", got)
+	}
+	one := NewRing([]string{"http://solo:1"}, 0)
+	for _, k := range ringKeys(50) {
+		if got := one.Owner(k); got != "http://solo:1" {
+			t.Fatalf("single-peer ring Owner(%q) = %q", k, got)
+		}
+	}
+}

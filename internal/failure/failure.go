@@ -1,5 +1,5 @@
 // Package failure is the pipeline-wide error taxonomy. Every stage of
-// the Panorama pipeline reports its failures through the four sentinel
+// the Panorama pipeline reports its failures through the sentinel
 // errors below so that callers — the CLIs, the benchmark harness, a
 // service wrapping the mapper — can branch on the *class* of failure
 // with errors.Is/As instead of string matching:
@@ -14,6 +14,9 @@
 //     Retrying with the same configuration is pointless.
 //   - ErrLowerFailed: the lower-level mapper failed with a hard error
 //     on every rung of the degradation ladder.
+//   - ErrPeerDown: the cluster peer owning a sharded computation was
+//     unreachable; the work is expected to fall back to local
+//     execution.
 //
 // StageError attributes a classified failure to the pipeline stage
 // that produced it; PanicError preserves a recovered panic (task
@@ -33,6 +36,11 @@ var (
 	ErrInfeasible  = errors.New("infeasible")
 	ErrCancelled   = errors.New("cancelled")
 	ErrLowerFailed = errors.New("lower mapper failed")
+	// ErrPeerDown classifies a cluster-peer failure: the owner of a
+	// sharded computation could not be reached (or answered outside the
+	// peer protocol). Nothing about the input is wrong; the caller is
+	// expected to fall back to local execution or another peer.
+	ErrPeerDown = errors.New("cluster peer down")
 )
 
 // StageError attributes a failure to a named pipeline stage
@@ -102,6 +110,12 @@ func IsCancelled(err error) bool {
 // IsInfeasible reports whether err is a proven infeasibility.
 func IsInfeasible(err error) bool {
 	return errors.Is(err, ErrInfeasible)
+}
+
+// IsPeerDown reports whether err is an unreachable-cluster-peer
+// failure.
+func IsPeerDown(err error) bool {
+	return errors.Is(err, ErrPeerDown)
 }
 
 // PanicError is a panic recovered at a pipeline or worker-pool

@@ -1,0 +1,140 @@
+package loadtest
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"panorama/internal/cluster"
+	"panorama/internal/service"
+)
+
+// FleetConfig shapes an in-process fleet of panoramad peers sharing
+// one consistent-hash ring.
+type FleetConfig struct {
+	// N is the peer count (>= 2; a one-node "fleet" is just a Harness).
+	N int
+	// Options builds peer i's service options. The fleet installs its
+	// own cluster.Cluster into each; everything else (workers, queue,
+	// Run stubs, WrapRun decorators) is the caller's. Nil uses zero
+	// options (the real pipeline at default sizing).
+	Options func(i int) service.Options
+	// FailThreshold is each peer's breaker threshold (0 = cluster default).
+	FailThreshold int
+	// VirtualNodes is the ring density (0 = cluster default).
+	VirtualNodes int
+	// GossipInterval enables each peer's gossip loop when > 0. Peers
+	// whose Options already set one keep theirs.
+	GossipInterval time.Duration
+}
+
+// Fleet is N in-process panoramad peers wired into one ring: each
+// Harness owns a real service.Server and listener, each server owns a
+// cluster.Cluster, and after every listener is up the fleet binds all
+// base URLs into every ring so the peers agree on fingerprint
+// ownership. Per-peer execution/completion accounting (via the
+// Harness WrapRun hooks) makes fleet-wide exactly-once assertable:
+// forwarded attempts bypass the origin's executor, so summing the
+// maps across peers counts real pipeline runs only.
+type Fleet struct {
+	Peers []*Harness
+	Rings []*cluster.Cluster
+	urls  []string
+}
+
+// NewFleet starts the peers and wires the ring. On any start failure
+// the peers already up are shut down before the error returns.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.N < 2 {
+		return nil, errors.New("loadtest: a fleet needs at least 2 peers")
+	}
+	f := &Fleet{}
+	for i := 0; i < cfg.N; i++ {
+		var opts service.Options
+		if cfg.Options != nil {
+			opts = cfg.Options(i)
+		}
+		cl := cluster.New(cluster.Config{
+			VirtualNodes:  cfg.VirtualNodes,
+			FailThreshold: cfg.FailThreshold,
+		})
+		opts.Cluster = cl
+		if opts.GossipInterval == 0 {
+			opts.GossipInterval = cfg.GossipInterval
+		}
+		h, err := NewHarness(opts)
+		if err != nil {
+			f.Close(context.Background())
+			return nil, err
+		}
+		f.Peers = append(f.Peers, h)
+		f.Rings = append(f.Rings, cl)
+		f.urls = append(f.urls, h.URL())
+	}
+	// Listen addresses exist only now; bind the full membership into
+	// every peer's ring. From here each server shards by fingerprint.
+	for i, cl := range f.Rings {
+		cl.Configure(f.urls[i], f.urls)
+	}
+	return f, nil
+}
+
+// URLs lists the peers' base URLs in peer order.
+func (f *Fleet) URLs() []string {
+	out := make([]string, len(f.urls))
+	copy(out, f.urls)
+	return out
+}
+
+// OwnerIndex resolves which peer owns fingerprint fp under the shared
+// ring (-1 if the ring is inert or the owner is unknown).
+func (f *Fleet) OwnerIndex(fp string) int {
+	if len(f.Rings) == 0 {
+		return -1
+	}
+	owner := f.Rings[0].Owner(fp)
+	for i, u := range f.urls {
+		if u == owner {
+			return i
+		}
+	}
+	return -1
+}
+
+// Executions merges the per-peer execution counts: how many times
+// each fingerprint's pipeline actually ran, fleet-wide.
+func (f *Fleet) Executions() map[string]int {
+	return f.merge((*Harness).Executions)
+}
+
+// Completions merges the per-peer successful-run counts.
+func (f *Fleet) Completions() map[string]int {
+	return f.merge((*Harness).Completions)
+}
+
+func (f *Fleet) merge(get func(*Harness) map[string]int) map[string]int {
+	out := map[string]int{}
+	for _, h := range f.Peers {
+		if h == nil {
+			continue
+		}
+		for fp, n := range get(h) {
+			out[fp] += n
+		}
+	}
+	return out
+}
+
+// Close drains every peer still up and returns the first error.
+func (f *Fleet) Close(ctx context.Context) error {
+	var first error
+	for _, h := range f.Peers {
+		if h == nil {
+			continue
+		}
+		if err := h.Close(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -48,6 +48,13 @@ type Report struct {
 	Failed      int64   `json:"failed"`
 	AchievedQPS float64 `json:"achievedQPS"`
 
+	// DistinctSpecs is how many distinct request specs this generator's
+	// workload issued — the upper bound on pipeline executions a
+	// deduplicating service should perform for this stream. Merge sums
+	// it (distinct-seed processes issue disjoint streams); generators
+	// that deliberately share one seed must bound with the max instead.
+	DistinctSpecs int64 `json:"distinctSpecs,omitempty"`
+
 	// Errors buckets failures by taxonomy key: the typed error class
 	// the service returned ("budget", "overloaded", ...), "http-<code>"
 	// for untyped statuses, or "transport" for connection failures.
@@ -103,6 +110,7 @@ func (r *Report) Merge(other *Report) error {
 	r.Sent += other.Sent
 	r.Done += other.Done
 	r.Failed += other.Failed
+	r.DistinctSpecs += other.DistinctSpecs
 	for k, v := range other.Errors {
 		r.Errors[k] += v
 	}

@@ -117,6 +117,7 @@ drain:
 	<-collectorDone
 
 	report.Sent = sent
+	report.DistinctSpecs = int64(len(cfg.Workload.Issued()))
 	elapsed := time.Since(start).Seconds()
 	if elapsed > 0 {
 		report.AchievedQPS = float64(report.Done+report.Failed) / elapsed

@@ -1,0 +1,295 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"panorama/internal/cluster"
+	"panorama/internal/core"
+	"panorama/internal/failure"
+	"panorama/internal/obs"
+)
+
+// Cluster integration: the consistent-hash ring (internal/cluster)
+// assigns every fingerprint an owner peer, and forwarding happens at
+// the EXECUTION layer, not the HTTP layer. A non-owner still admits,
+// journals and streams the job exactly as a standalone server would;
+// only runAttempt delegates the computation to the owner with a
+// wait=true POST /v1/map carrying the single-hop guard header. The
+// owner's own coalescing (Server.flight) then merges concurrent
+// forwards of one fingerprint from the whole fleet into a single
+// pipeline execution, and the origin caches the owner's answer in its
+// local LRU — the opportunistic peer fill. Batch items forward the
+// same way, one by one, since a batch can span owners.
+
+// recentFingerprintCap bounds the completed-fingerprint ring gossiped
+// via /v1/cluster/statsz.
+const recentFingerprintCap = 32
+
+// gossipFillPerRound bounds how many cache entries one gossip round
+// pulls from one peer, so a cold node warms gradually instead of
+// stampeding its peers.
+const gossipFillPerRound = 8
+
+// rememberFingerprint records a completed fingerprint for the gossip
+// surface (newest last, bounded).
+func (s *Server) rememberFingerprint(fp string) {
+	s.recentMu.Lock()
+	defer s.recentMu.Unlock()
+	s.recent = append(s.recent, fp)
+	if len(s.recent) > recentFingerprintCap {
+		s.recent = s.recent[len(s.recent)-recentFingerprintCap:]
+	}
+}
+
+// recentFingerprints snapshots the gossip ring.
+func (s *Server) recentFingerprints() []string {
+	s.recentMu.Lock()
+	defer s.recentMu.Unlock()
+	out := make([]string, len(s.recent))
+	copy(out, s.recent)
+	return out
+}
+
+// handleClusterStats serves GET /v1/cluster/statsz: this peer's ring
+// view, health bookkeeping and recently completed fingerprints. It
+// answers on standalone servers too (with an empty cluster section) so
+// probes and dashboards need no special casing.
+func (s *Server) handleClusterStats(w http.ResponseWriter, _ *http.Request) {
+	var cs cluster.Stats
+	if s.opts.Cluster != nil {
+		cs = s.opts.Cluster.Stats()
+	}
+	writeJSON(w, http.StatusOK, cluster.Statsz{
+		Cluster:      cs,
+		Draining:     s.isDraining(),
+		CacheEntries: s.cache.Len(),
+		Recent:       s.recentFingerprints(),
+	})
+}
+
+// shouldForward decides whether job's next attempt belongs on another
+// peer: the ring must be live, the job must not itself be a forward
+// (single hop), must not have spent its forward already, and the owner
+// must be a healthy remote peer.
+func (s *Server) shouldForward(job *Job) (string, bool) {
+	cl := s.opts.Cluster
+	if cl == nil || !cl.Enabled() {
+		return "", false
+	}
+	if job.Origin() != "" || job.forwardSpent() {
+		return "", false
+	}
+	owner := cl.Owner(job.Fingerprint)
+	if owner == "" || cl.IsSelf(owner) || !cl.Healthy(owner) {
+		return "", false
+	}
+	return owner, true
+}
+
+// forwardRequest rebuilds the wire request for a job so the owner
+// resolves it to the same fingerprint: the graph as canonical DFG
+// JSON, the architecture as a full description, and the total budget
+// as timeoutMS. Peers must share the non-Total budget defaults (fleet
+// configuration contract, see DEPLOYMENT.md) or fingerprints diverge
+// and the fleet degrades to per-node caching.
+func forwardRequest(job *Job) ([]byte, error) {
+	dfgJSON, err := json.Marshal(job.req.graph)
+	if err != nil {
+		return nil, fmt.Errorf("service: forward %s: %w", job.ID, err)
+	}
+	var ab bytes.Buffer
+	if err := job.req.arch.WriteJSON(&ab); err != nil {
+		return nil, fmt.Errorf("service: forward %s: %w", job.ID, err)
+	}
+	wire := Request{
+		DFG:      dfgJSON,
+		ArchDesc: ab.Bytes(),
+		Mapper:   job.Mapper,
+		Seed:     job.Seed,
+		Wait:     true,
+	}
+	if job.Budgets.Total > 0 {
+		wire.TimeoutMS = int64(job.Budgets.Total / time.Millisecond)
+	}
+	return json.Marshal(&wire)
+}
+
+// forwardAttempt delegates one attempt to the ring owner. handled
+// reports whether the forward concluded the attempt (remote success or
+// a typed remote failure); when false the caller runs the attempt
+// locally — the owner was down, misdirected, or refused admission.
+// Either way the job's single forward hop is spent: retries after a
+// forwarded failure run locally rather than bouncing the fleet.
+func (s *Server) forwardAttempt(ctx context.Context, job *Job, owner string) (core.Summary, error, bool) {
+	job.disableForward()
+	cl := s.opts.Cluster
+
+	body, err := forwardRequest(job)
+	if err != nil {
+		log.Printf("service: %v; running locally", err)
+		s.stats.forwardFallback.Add(1)
+		return core.Summary{}, nil, false
+	}
+
+	tr := obs.NewTrace(job.ID)
+	job.mu.Lock()
+	job.trace = tr
+	job.mu.Unlock()
+	tr.Root().Set("attempt", int64(job.Attempts()))
+	tr.Root().Set("mapper", job.Mapper)
+	sp := tr.Root().Child("cluster.forward")
+	sp.Set("peer", owner)
+	defer tr.Root().End()
+
+	status, data, err := cl.Forward(ctx, owner, "/v1/map", body)
+	if err != nil {
+		// Transport failure or infrastructure refusal: typed ErrPeerDown
+		// from the cluster layer, already charged to the peer breaker.
+		sp.Set("outcome", "peer-down")
+		sp.End()
+		log.Printf("service: job %s: %v; running locally", job.ID, err)
+		s.stats.forwardFallback.Add(1)
+		return core.Summary{}, nil, false
+	}
+
+	var view JobView
+	if derr := json.Unmarshal(data, &view); derr != nil {
+		sp.Set("outcome", "bad-response")
+		sp.End()
+		log.Printf("service: job %s: owner %s answered undecodable %d; running locally", job.ID, owner, status)
+		s.stats.forwardFallback.Add(1)
+		return core.Summary{}, nil, false
+	}
+
+	switch {
+	case status == http.StatusOK && view.Result != nil:
+		sp.Set("outcome", "ok")
+		sp.Set("remoteJob", view.ID)
+		sp.End()
+		s.stats.forwarded.Add(1)
+		return *view.Result, nil, true
+	case status == http.StatusMisdirectedRequest:
+		// The owner's ring disagrees about ownership (mid-reconfiguration
+		// fleet). One hop only: run locally.
+		sp.Set("outcome", "misdirected")
+		sp.End()
+		s.stats.forwardFallback.Add(1)
+		return core.Summary{}, nil, false
+	case view.Error != nil:
+		// A typed remote failure is a real outcome, not a peer problem:
+		// propagate it through the same taxonomy a local run would use,
+		// salvaging any partial summary. The retry ladder then re-runs
+		// (or degrades) locally.
+		sp.Set("outcome", "remote-"+view.Error.Class)
+		sp.End()
+		s.stats.forwarded.Add(1)
+		var sum core.Summary
+		if view.Result != nil {
+			sum = *view.Result
+		}
+		return sum, remoteError(view.Error), true
+	default:
+		// 202 (our wait was cut short), 429, or any other anomaly:
+		// nothing usable came back; run locally.
+		sp.Set("outcome", fmt.Sprintf("status-%d", status))
+		sp.End()
+		s.stats.forwardFallback.Add(1)
+		return core.Summary{}, nil, false
+	}
+}
+
+// remoteError rebuilds a typed error from an owner's wire ErrorInfo so
+// the origin's retry ladder, journal note and HTTP status see the same
+// failure class the owner saw.
+func remoteError(info *ErrorInfo) error {
+	msg := info.Message
+	switch info.Class {
+	case "budget":
+		return fmt.Errorf("%w: remote: %s", failure.ErrBudget, msg)
+	case "cancelled":
+		return fmt.Errorf("%w: remote: %s", failure.ErrCancelled, msg)
+	case "infeasible":
+		return fmt.Errorf("%w: remote: %s", failure.ErrInfeasible, msg)
+	case "lower-failed":
+		return fmt.Errorf("%w: remote: %s", failure.ErrLowerFailed, msg)
+	default:
+		return fmt.Errorf("remote %s: %s", info.Class, msg)
+	}
+}
+
+// gossipLoop periodically probes every remote peer's
+// /v1/cluster/statsz: the probe outcome drives the peer health
+// breaker (a down owner recovers only through a successful probe), and
+// the answer's recent-fingerprint list feeds the opportunistic cache
+// fill. Runs until Shutdown.
+func (s *Server) gossipLoop() {
+	defer s.gossipWG.Done()
+	t := time.NewTicker(s.opts.GossipInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.gossipStop:
+			return
+		case <-t.C:
+		}
+		s.gossipRound()
+	}
+}
+
+// gossipRound probes each remote peer once and pulls a bounded number
+// of missing cache entries from it.
+func (s *Server) gossipRound() {
+	cl := s.opts.Cluster
+	for _, peer := range cl.RemotePeers() {
+		ctx, cancel := context.WithTimeout(s.baseCtx, s.opts.GossipInterval)
+		sz, err := cl.Probe(ctx, peer)
+		if err != nil {
+			cancel()
+			continue
+		}
+		filled := 0
+		for _, fp := range sz.Recent {
+			if filled >= gossipFillPerRound {
+				break
+			}
+			if _, ok := s.cache.Get(fp); ok {
+				continue
+			}
+			if s.fillFromPeer(ctx, peer, fp) {
+				filled++
+			}
+		}
+		cancel()
+	}
+}
+
+// fillFromPeer pulls one cached result from peer into the local LRU.
+func (s *Server) fillFromPeer(ctx context.Context, peer, fp string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/result/"+fp, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var e Entry
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Fingerprint != fp {
+		return false
+	}
+	if err := s.cache.Put(e); err != nil {
+		log.Printf("service: gossip fill: %v", err)
+	}
+	s.stats.gossipFilled.Add(1)
+	return true
+}

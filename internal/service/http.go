@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"panorama/internal/cluster"
 	"panorama/internal/core"
 	"panorama/internal/failure"
 )
@@ -129,6 +130,9 @@ func failureStatus(err error) int {
 //	GET  /v1/trace/{id} the job's (or batch admission's) span tree
 //	                    (JSON; live snapshot while the job runs, 404
 //	                    before it starts)
+//	GET  /v1/cluster/statsz  this peer's ring membership, peer health
+//	                    and recently completed fingerprints (the
+//	                    fleet gossip surface)
 //	GET  /healthz       liveness ("ok", or "draining" during shutdown)
 //	GET  /metricsz      service + pipeline metrics (Prometheus text)
 //	GET  /statsz        cache/queue/failure counters (JSON; deprecated
@@ -143,6 +147,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/result/{fp}", s.handleResult)
 	mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
+	mux.HandleFunc("GET /v1/cluster/statsz", s.handleClusterStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metricsz", s.handleMetrics)
 	mux.HandleFunc("GET /statsz", s.handleStats)
@@ -201,6 +206,20 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		}
 		httpError(w, http.StatusBadRequest, "bad-request", err)
 		return
+	}
+	if from := r.Header.Get(cluster.HeaderForwardedFrom); from != "" {
+		// Single-hop guard: a forwarded request is never forwarded
+		// again. If this peer's ring view says the fingerprint belongs
+		// elsewhere (a mid-reconfiguration fleet), 421 tells the origin
+		// to run the job locally instead of starting a loop.
+		if cl := s.opts.Cluster; cl.Enabled() && !cl.IsSelf(cl.Owner(res.fingerprint)) {
+			s.stats.forwardMisdirected.Add(1)
+			httpError(w, http.StatusMisdirectedRequest, "misdirected",
+				fmt.Errorf("peer %s forwarded fingerprint %s, but this peer does not own it", from, res.fingerprint))
+			return
+		}
+		res.origin = from
+		s.stats.originJobs.Add(1)
 	}
 	out, err := s.submit(res)
 	switch {

@@ -41,6 +41,13 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	p("panorama_batch_items_total{disposition=\"hit\"} %d\n", st.BatchItemsHit)
 	counter("panorama_batch_rejected_total", "Batch requests rejected wholesale by admission control.", st.BatchRejected)
 	counter("panorama_batch_requests_total", "Batch requests that reached admission.", st.BatchRequests)
+	counter("panorama_cluster_forward_fallback_total", "Forwards that fell back to local execution (owner down or misdirected).", st.ClusterFallback)
+	counter("panorama_cluster_forwarded_total", "Job attempts concluded on the ring owner peer.", st.ClusterForwarded)
+	counter("panorama_cluster_gossip_fill_total", "Cache entries pulled from peers by the gossip loop.", st.ClusterGossipFill)
+	counter("panorama_cluster_misdirected_total", "Forwarded requests this peer rejected with 421 (ring disagreement).", st.ClusterMisdirected)
+	counter("panorama_cluster_origin_jobs_total", "Jobs accepted on behalf of a forwarding peer.", st.ClusterOriginJobs)
+	gauge("panorama_cluster_peers", "Peers on the hash ring, self included (0 standalone).", float64(st.ClusterPeers))
+	gauge("panorama_cluster_peers_down", "Remote peers currently considered unreachable.", float64(st.ClusterPeersDown))
 	gauge("panorama_service_breaker_failure_rate", "Windowed failure fraction behind the service breaker.", st.BreakerFailureRate)
 	gauge("panorama_service_breaker_state", "Service breaker state: 0 ok, 1 degrading admissions, 2 shedding load.", breakerStateValue(st.BreakerState))
 	gauge("panorama_service_cache_entries", "Entries in the result cache.", float64(st.CacheEntries))
@@ -75,6 +82,10 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	counter("panorama_sse_events_sent_total", "Events written to SSE streams.", st.SSESent)
 	counter("panorama_sse_resumed_total", "SSE streams opened with a Last-Event-ID resume cursor.", st.SSEResumed)
 	counter("panorama_sse_streams_total", "SSE streams opened (job and batch).", st.SSEStreams)
+	counter("panorama_webhook_dropped_total", "Webhook events dropped (full queue or unmarshalable payload).", st.WebhooksDropped)
+	counter("panorama_webhook_failed_total", "Webhook events abandoned after the retry ladder.", st.WebhooksFailed)
+	counter("panorama_webhook_retried_total", "Webhook delivery attempts that will be retried.", st.WebhooksRetried)
+	counter("panorama_webhook_sent_total", "Webhook deliveries acknowledged with a 2xx.", st.WebhooksSent)
 	if err != nil {
 		return err
 	}

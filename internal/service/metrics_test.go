@@ -24,6 +24,13 @@ var metricszFamilies = []string{
 	"panorama_batch_items_total",
 	"panorama_batch_rejected_total",
 	"panorama_batch_requests_total",
+	"panorama_cluster_forward_fallback_total",
+	"panorama_cluster_forwarded_total",
+	"panorama_cluster_gossip_fill_total",
+	"panorama_cluster_misdirected_total",
+	"panorama_cluster_origin_jobs_total",
+	"panorama_cluster_peers",
+	"panorama_cluster_peers_down",
 	"panorama_service_breaker_failure_rate",
 	"panorama_service_breaker_state",
 	"panorama_service_cache_entries",
@@ -49,6 +56,10 @@ var metricszFamilies = []string{
 	"panorama_sse_events_sent_total",
 	"panorama_sse_resumed_total",
 	"panorama_sse_streams_total",
+	"panorama_webhook_dropped_total",
+	"panorama_webhook_failed_total",
+	"panorama_webhook_retried_total",
+	"panorama_webhook_sent_total",
 }
 
 func getMetricsz(t *testing.T, url string) string {

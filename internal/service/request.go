@@ -32,6 +32,12 @@ type Request struct {
 	// the client's connection); otherwise a queued job returns 202
 	// immediately.
 	Wait bool `json:"wait,omitempty"`
+
+	// Webhook is a per-job completion callback URL overriding the
+	// server-wide Options.WebhookURL. Delivery metadata, not part of
+	// the computation: it is excluded from the fingerprint, so two
+	// requests differing only in webhook share one cache entry.
+	Webhook string `json:"webhook,omitempty"`
 }
 
 // panPrefix marks the guided Panorama pipeline: "pan-spr" runs the
@@ -75,6 +81,8 @@ type resolved struct {
 	budgets     core.Budgets
 	fingerprint string
 	wait        bool
+	webhook     string // per-job completion callback (not fingerprinted)
+	origin      string // forwarding peer's URL when the job arrived via the ring
 }
 
 // resolve validates the wire request against the server defaults. The
@@ -148,6 +156,7 @@ func (s *Server) resolve(req *Request) (*resolved, error) {
 		budgets:     budgets,
 		fingerprint: Key(g, a, mapper, req.Seed, budgets),
 		wait:        req.Wait,
+		webhook:     req.Webhook,
 	}, nil
 }
 

@@ -56,6 +56,15 @@ func (d *drainEstimator) record() {
 // observed drain rate (the +1 being the caller's own job), rounded up
 // to whole seconds and clamped to [1s, 60s] so a momentary stall never
 // tells clients to go away for minutes.
+//
+// Stale samples are evicted by timestamp, and the drain rate is
+// computed over the span the surviving samples actually cover (floored
+// at 1s), not over the whole window. The old fixed-window denominator
+// made an idle-then-burst server look ~window/span times slower than
+// it was: after 25 idle seconds, 10 completions in the last 5 seconds
+// were read as 10-per-30s instead of 10-per-5s, inflating Retry-After
+// six-fold exactly when the server had just sped up (regression test:
+// TestDrainEstimatorIdleThenBurst).
 func (d *drainEstimator) hint(backlog int, fallback time.Duration) time.Duration {
 	if d == nil {
 		return fallback
@@ -63,16 +72,28 @@ func (d *drainEstimator) hint(backlog int, fallback time.Duration) time.Duration
 	now := d.now()
 	d.mu.Lock()
 	k := 0
+	var oldest time.Time
 	for i := 0; i < d.n; i++ {
-		if now.Sub(d.times[i]) <= d.window {
-			k++
+		age := now.Sub(d.times[i])
+		if age < 0 || age > d.window {
+			continue // stale (or clock went backwards): evicted
 		}
+		if k == 0 || d.times[i].Before(oldest) {
+			oldest = d.times[i]
+		}
+		k++
 	}
 	d.mu.Unlock()
 	if k == 0 {
 		return fallback
 	}
-	secs := float64(backlog+1) * d.window.Seconds() / float64(k)
+	span := now.Sub(oldest)
+	if span < time.Second {
+		// A burst inside one second has no measurable span; treating it
+		// as one second keeps the rate finite and conservative.
+		span = time.Second
+	}
+	secs := float64(backlog+1) * span.Seconds() / float64(k)
 	wait := time.Duration(math.Ceil(secs)) * time.Second
 	if wait < time.Second {
 		wait = time.Second

@@ -7,7 +7,9 @@ import (
 
 // The estimator's contract: fallback verbatim with no observed
 // completions, otherwise ceil((backlog+1) / drain-rate) clamped to
-// [1s, 60s]. Driven by a fake clock so every case is deterministic.
+// [1s, 60s], where the drain rate is the in-window completions over
+// the span they actually cover. Driven by a fake clock so every case
+// is deterministic.
 func TestDrainEstimatorHint(t *testing.T) {
 	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
 	now := base
@@ -19,26 +21,28 @@ func TestDrainEstimatorHint(t *testing.T) {
 		t.Fatalf("cold hint = %v, want fallback 2s", got)
 	}
 
-	// 15 completions over 15 seconds → rate 0.5/s over the 30s window.
+	// 15 completions over 14 seconds, observed at t=15s → the samples
+	// span 15s, so the drain rate is 1/s.
 	for i := 0; i < 15; i++ {
 		now = base.Add(time.Duration(i) * time.Second)
 		d.record()
 	}
 	now = base.Add(15 * time.Second)
-	// backlog 4 → (4+1) jobs / (15/30s) = 10s.
-	if got := d.hint(4, 2*time.Second); got != 10*time.Second {
-		t.Fatalf("hint(backlog=4) = %v, want 10s", got)
+	// backlog 4 → (4+1) jobs / (15 per 15s) = 5s.
+	if got := d.hint(4, 2*time.Second); got != 5*time.Second {
+		t.Fatalf("hint(backlog=4) = %v, want 5s", got)
 	}
-	// backlog 0: the caller's own job still queues behind the drain.
-	if got := d.hint(0, 2*time.Second); got != 2*time.Second {
-		t.Fatalf("hint(backlog=0) = %v, want 2s (1 job / 0.5 per s)", got)
+	// backlog 0: the caller's own job at 1/s → the 1s floor.
+	if got := d.hint(0, 2*time.Second); got != time.Second {
+		t.Fatalf("hint(backlog=0) = %v, want 1s", got)
 	}
 	// Huge backlog clamps at 60s rather than telling clients minutes.
 	if got := d.hint(1000, 2*time.Second); got != 60*time.Second {
 		t.Fatalf("hint(backlog=1000) = %v, want 60s clamp", got)
 	}
 
-	// A fast drain floors at 1s (Retry-After: 0 invites a stampede).
+	// A same-instant burst has no measurable span; the 1s span floor
+	// keeps the rate finite and the hint at the 1s floor.
 	fast := newDrainEstimator()
 	fast.now = func() time.Time { return now }
 	for i := 0; i < drainRing; i++ {
@@ -57,23 +61,60 @@ func TestDrainEstimatorHint(t *testing.T) {
 }
 
 // The ring holds drainRing samples; older ones are overwritten, not
-// double-counted.
+// double-counted, and in-ring samples older than the window are
+// evicted by timestamp.
 func TestDrainEstimatorRingWrap(t *testing.T) {
 	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
 	now := base
 	d := newDrainEstimator()
 	d.now = func() time.Time { return now }
+	// 3×drainRing completions one second apart: the ring retains the
+	// last 64 (t = 128s..191s), and of those only t ≥ 161s survive the
+	// 30s window at observation time t = 191s.
 	for i := 0; i < 3*drainRing; i++ {
+		now = base.Add(time.Duration(i) * time.Second)
 		d.record()
 	}
-	// All within the window, but at most drainRing counted:
-	// (0+1) * 30 / 64 = 0.47s → ceil → 1s floor.
-	if got := d.hint(0, 5*time.Second); got != time.Second {
-		t.Fatalf("wrapped hint = %v, want 1s", got)
+	// 31 surviving samples spanning 30s → rate ~1/s.
+	// backlog 30 → (30+1) * 30/31 = 30s.
+	if got := d.hint(30, 5*time.Second); got != 30*time.Second {
+		t.Fatalf("wrapped hint(30) = %v, want 30s", got)
 	}
-	// Backlog that would take >1s at exactly drainRing per window:
-	// (63+1) * 30 / 64 = 30s.
-	if got := d.hint(63, 5*time.Second); got != 30*time.Second {
-		t.Fatalf("wrapped hint(63) = %v, want 30s", got)
+	// backlog 0 → ~0.97s → the 1s floor.
+	if got := d.hint(0, 5*time.Second); got != time.Second {
+		t.Fatalf("wrapped hint(0) = %v, want 1s", got)
+	}
+}
+
+// Regression: an idle-then-burst server must price the backlog at the
+// burst's observed rate, not at a rate diluted by the idle stretch.
+// The old estimator divided the in-window completion count by the
+// whole 30s window, so 10 completions in the last 5 seconds read as
+// one per 3s and a 9-job backlog was quoted 30s instead of 5s —
+// clients were told to go away longest exactly when the server had
+// just sped up.
+func TestDrainEstimatorIdleThenBurst(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	now := base
+	d := newDrainEstimator()
+	d.now = func() time.Time { return now }
+
+	// A slow morning: 10 completions one per second, then 45s of idle.
+	for i := 0; i < 10; i++ {
+		now = base.Add(time.Duration(i) * time.Second)
+		d.record()
+	}
+	// The burst: 10 completions in 4.5s starting at t=50s.
+	for i := 0; i < 10; i++ {
+		now = base.Add(50*time.Second + time.Duration(i)*500*time.Millisecond)
+		d.record()
+	}
+	now = base.Add(55 * time.Second)
+
+	// The morning samples (ages 46..55s) are evicted by timestamp; the
+	// burst's 10 samples span 5s → rate 2/s. backlog 9 → 10 jobs / 2
+	// per s = 5s.
+	if got := d.hint(9, 2*time.Second); got != 5*time.Second {
+		t.Fatalf("idle-then-burst hint = %v, want 5s (burst-rate pricing)", got)
 	}
 }

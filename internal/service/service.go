@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"panorama/internal/cluster"
 	"panorama/internal/core"
 	"panorama/internal/failure"
 	"panorama/internal/faultinject"
@@ -102,6 +103,27 @@ type Options struct {
 	BreakerWindow  int
 	BreakerDegrade float64
 	BreakerShed    float64
+
+	// Cluster shards the content-addressed cache across a panoramad
+	// fleet: jobs whose fingerprint another peer owns are forwarded
+	// there at execution time (falling back to local execution when the
+	// owner is down). Nil runs the server standalone.
+	Cluster *cluster.Cluster
+	// GossipInterval is the peer health-probe and cache-fill cadence
+	// (0 disables gossip; forwarding still works without it).
+	GossipInterval time.Duration
+
+	// WebhookURL makes every terminal job fire a signed POST there
+	// (per-request Request.Webhook overrides the destination). Empty
+	// disables webhooks unless a request names its own.
+	WebhookURL string
+	// WebhookSecret keys the HMAC-SHA256 body signature
+	// (X-Panorama-Signature); empty sends unsigned webhooks.
+	WebhookSecret string
+	// WebhookTimeout bounds one delivery attempt (default 10s);
+	// WebhookMaxAttempts bounds the retry ladder per event (default 3).
+	WebhookTimeout     time.Duration
+	WebhookMaxAttempts int
 }
 
 // JobStatus is the lifecycle of a Job.
@@ -142,6 +164,8 @@ type Job struct {
 	attempts  int    // executions so far (journal-replayed ones included)
 	runMapper string // mapper of the current attempt ("" = Mapper)
 	degraded  bool   // the retry ladder or breaker stepped the mapper down
+	origin    string // forwarding peer's URL when the job arrived via the ring
+	noForward bool   // this job already spent its one forward hop
 
 	events *eventLog // state transitions for the SSE surface
 
@@ -192,6 +216,29 @@ func (j *Job) degradeTo(m string) {
 	defer j.mu.Unlock()
 	j.runMapper = m
 	j.degraded = true
+}
+
+// Origin returns the URL of the peer that forwarded this job here (""
+// for jobs submitted by ordinary clients).
+func (j *Job) Origin() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.origin
+}
+
+// disableForward spends the job's single forward hop: every later
+// attempt runs locally.
+func (j *Job) disableForward() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.noForward = true
+}
+
+// forwardSpent reports whether the job may still be forwarded.
+func (j *Job) forwardSpent() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.noForward
 }
 
 // Trace returns the observability trace of the job's pipeline run, or
@@ -251,6 +298,15 @@ type Server struct {
 	wg      sync.WaitGroup
 
 	drain *drainEstimator // recent completions → Retry-After hints
+
+	webhooks *webhookNotifier // nil without a webhook destination path
+
+	recentMu sync.Mutex
+	recent   []string // most recently completed fingerprints, newest last
+
+	gossipStop chan struct{}
+	gossipOnce sync.Once
+	gossipWG   sync.WaitGroup
 }
 
 // New builds and starts a server (its workers run until Shutdown).
@@ -311,15 +367,17 @@ func New(opts Options) (*Server, error) {
 		qsize = len(pending)
 	}
 	s := &Server{
-		opts:    opts,
-		cache:   cache,
-		journal: jn,
-		jobs:    make(map[string]*Job),
-		flight:  make(map[string]*Job),
-		batches: make(map[string]*Batch),
-		queue:   make(chan *Job, qsize),
-		drain:   newDrainEstimator(),
+		opts:       opts,
+		cache:      cache,
+		journal:    jn,
+		jobs:       make(map[string]*Job),
+		flight:     make(map[string]*Job),
+		batches:    make(map[string]*Batch),
+		queue:      make(chan *Job, qsize),
+		drain:      newDrainEstimator(),
+		gossipStop: make(chan struct{}),
 	}
+	s.webhooks = newWebhookNotifier(&s.stats, opts)
 	if opts.BreakerWindow > 0 {
 		s.breaker = newBreaker(opts.BreakerWindow, opts.BreakerDegrade, opts.BreakerShed)
 	}
@@ -344,6 +402,10 @@ func New(opts Options) (*Server, error) {
 				s.runJob(job)
 			}
 		}()
+	}
+	if opts.Cluster != nil && opts.GossipInterval > 0 {
+		s.gossipWG.Add(1)
+		go s.gossipLoop()
 	}
 	return s, nil
 }
@@ -422,6 +484,20 @@ func (s *Server) submit(req *resolved) (Outcome, error) {
 		s.stats.coalesced.Add(1)
 		return Outcome{Job: job, Coalesced: true}, nil
 	}
+	// An in-flight twin may have reached its terminal state between the
+	// unlocked cache check above and this lock. finishDone publishes to
+	// the cache before unregistering, and unregister synchronizes on
+	// s.mu, so when the flight index is empty here a re-check cannot
+	// miss the twin's result — without it, a submission landing in that
+	// window would re-execute a fingerprint that just completed
+	// (visible fleet-wide: three peers issuing identical streams hit
+	// completion boundaries constantly).
+	if e, ok := s.cache.Get(req.fingerprint); ok {
+		s.mu.Unlock()
+		s.stats.submitted.Add(1)
+		s.stats.hits.Add(1)
+		return Outcome{Entry: &e}, nil
+	}
 	s.nextID++
 	job := &Job{
 		ID:          fmt.Sprintf("job-%06d", s.nextID),
@@ -430,6 +506,7 @@ func (s *Server) submit(req *resolved) (Outcome, error) {
 		Seed:        req.seed,
 		Budgets:     req.budgets,
 		req:         req,
+		origin:      req.origin,
 		status:      JobQueued,
 		created:     time.Now(),
 		done:        make(chan struct{}),
@@ -441,8 +518,14 @@ func (s *Server) submit(req *resolved) (Outcome, error) {
 	// worker's Started record never precedes it in the journal — and
 	// the queued event before the enqueue, so no subscriber can see a
 	// running event first. (A queue-full rollback leaves a stray queued
-	// event on a job nobody can ever address; harmless.)
-	s.jlog(Record{Kind: journal.Submitted, JobID: job.ID, Key: job.Fingerprint, Blob: blob})
+	// event on a job nobody can ever address; harmless.) Peer-forwarded
+	// jobs journal their origin so a post-crash operator can tell
+	// replayed fleet traffic from local submissions.
+	note := ""
+	if req.origin != "" {
+		note = "origin:" + req.origin
+	}
+	s.jlog(Record{Kind: journal.Submitted, JobID: job.ID, Key: job.Fingerprint, Note: note, Blob: blob})
 	job.emit(JobQueued)
 	select {
 	case s.queue <- job:
@@ -490,7 +573,6 @@ func (s *Server) runJob(job *Job) {
 
 	for {
 		attempt := job.beginAttempt()
-		s.stats.executed.Add(1)
 		s.jlog(Record{Kind: journal.Started, JobID: job.ID, Key: job.Fingerprint,
 			Attempt: attempt, Note: job.currentMapper()})
 		job.emit(JobRunning)
@@ -555,6 +637,19 @@ func (s *Server) runAttempt(job *Job) (sum core.Summary, err error, watchdog boo
 	if ferr := faultinject.Fire(faultinject.SiteServiceRun); ferr != nil {
 		return core.Summary{}, fmt.Errorf("service: run %s: %w", job.ID, ferr), false
 	}
+	if owner, ok := s.shouldForward(job); ok {
+		// Another peer owns this fingerprint: delegate the execution.
+		// An unhandled outcome (owner down, ring disagreement) falls
+		// through to local execution within the same attempt — the
+		// fleet degrades to standalone behavior, never to an error.
+		if fsum, ferr, handled := s.forwardAttempt(ctx, job, owner); handled {
+			return fsum, ferr, tripped.Load()
+		}
+	}
+	// Count only attempts that reach the local executor: a forwarded
+	// attempt is the owner's execution, and counting it here too would
+	// make a fleet's summed executed_total read as duplicate work.
+	s.stats.executed.Add(1)
 	sum, err = s.opts.Run(ctx, job)
 	return sum, err, tripped.Load()
 }
@@ -603,9 +698,11 @@ func (s *Server) finishDone(job *Job, sum core.Summary) {
 		Attempt: job.Attempts(), Note: note})
 	s.breaker.record(false)
 	s.drain.record()
+	s.rememberFingerprint(key)
 	s.unregister(job)
 	job.emit(JobDone)
 	close(job.done)
+	s.webhooks.notify(s, job)
 }
 
 // finishFailed publishes a terminal failure (salvaging the partial
@@ -628,6 +725,7 @@ func (s *Server) finishFailed(job *Job, sum core.Summary, err error) {
 	s.unregister(job)
 	job.emit(JobFailed)
 	close(job.done)
+	s.webhooks.notify(s, job)
 }
 
 // finishRequeued hands a job back to the journal for the next process.
@@ -659,6 +757,7 @@ func (s *Server) finishFromCache(job *Job, e Entry) {
 	s.unregister(job)
 	job.emit(JobDone)
 	close(job.done)
+	s.webhooks.notify(s, job)
 }
 
 // unregister drops the job from the in-flight index.
@@ -746,6 +845,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 		err = ctx.Err()
 	}
+	s.gossipOnce.Do(func() { close(s.gossipStop) })
+	s.gossipWG.Wait()
+	s.webhooks.close(ctx)
 	if s.journal != nil {
 		// The workers have unwound (their terminal records are in), so
 		// the journal can close; jobs it still holds live replay on the

@@ -46,6 +46,17 @@ type stats struct {
 	sseSent    atomic.Int64 // events written to streams
 	sseActive  atomic.Int64 // streams currently open (gauge)
 
+	forwarded          atomic.Int64 // attempts concluded on the ring owner
+	forwardFallback    atomic.Int64 // forwards that fell back to local execution
+	forwardMisdirected atomic.Int64 // forwarded requests this peer answered 421
+	originJobs         atomic.Int64 // jobs accepted on behalf of another peer
+	gossipFilled       atomic.Int64 // cache entries pulled from peers by gossip
+
+	webhookSent    atomic.Int64 // webhook deliveries acknowledged 2xx
+	webhookRetried atomic.Int64 // delivery attempts that will be retried
+	webhookFailed  atomic.Int64 // events given up after the retry ladder
+	webhookDropped atomic.Int64 // events dropped (full queue, bad payload)
+
 	// Cumulative per-stage wall time of executed jobs, from
 	// Result.Provenance (nanoseconds).
 	clusteringNS atomic.Int64
@@ -119,6 +130,21 @@ type Stats struct {
 	SSESent    int64 `json:"sseEventsSent"`
 	SSEActive  int64 `json:"sseActiveStreams"`
 
+	ClusterForwarded   int64 `json:"clusterForwarded"`
+	ClusterFallback    int64 `json:"clusterForwardFallback"`
+	ClusterMisdirected int64 `json:"clusterMisdirected"`
+	ClusterOriginJobs  int64 `json:"clusterOriginJobs"`
+	ClusterGossipFill  int64 `json:"clusterGossipFill"`
+	// ClusterPeers/ClusterPeersDown mirror the ring membership gauges
+	// (zero on standalone servers).
+	ClusterPeers     int `json:"clusterPeers"`
+	ClusterPeersDown int `json:"clusterPeersDown"`
+
+	WebhooksSent    int64 `json:"webhooksSent"`
+	WebhooksRetried int64 `json:"webhooksRetried"`
+	WebhooksFailed  int64 `json:"webhooksFailed"`
+	WebhooksDropped int64 `json:"webhooksDropped"`
+
 	// BreakerState is "ok", "degrade" or "shed"; BreakerFailureRate is
 	// the windowed failure fraction behind it.
 	BreakerState       string  `json:"breakerState"`
@@ -166,6 +192,15 @@ func (s *Server) Stats() Stats {
 		SSEResumed:          st.sseResumed.Load(),
 		SSESent:             st.sseSent.Load(),
 		SSEActive:           st.sseActive.Load(),
+		ClusterForwarded:    st.forwarded.Load(),
+		ClusterFallback:     st.forwardFallback.Load(),
+		ClusterMisdirected:  st.forwardMisdirected.Load(),
+		ClusterOriginJobs:   st.originJobs.Load(),
+		ClusterGossipFill:   st.gossipFilled.Load(),
+		WebhooksSent:        st.webhookSent.Load(),
+		WebhooksRetried:     st.webhookRetried.Load(),
+		WebhooksFailed:      st.webhookFailed.Load(),
+		WebhooksDropped:     st.webhookDropped.Load(),
 		BreakerState:        s.breaker.state().String(),
 		BreakerFailureRate:  s.breaker.failureRate(),
 		ClusteringMS:        float64(st.clusteringNS.Load()) / float64(time.Millisecond),
@@ -174,6 +209,11 @@ func (s *Server) Stats() Stats {
 	}
 	if n := out.CacheHits + out.CacheMisses; n > 0 {
 		out.CacheHitRate = float64(out.CacheHits) / float64(n)
+	}
+	if cl := s.opts.Cluster; cl != nil {
+		cs := cl.Stats()
+		out.ClusterPeers = len(cs.Peers)
+		out.ClusterPeersDown = cs.PeersDown
 	}
 	s.mu.Lock()
 	out.Draining = s.draining
